@@ -1,0 +1,175 @@
+package repro_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles the four CLI executables once per test binary.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, tool := range []string{"nsced", "nscasm", "nscsim", "nscviz"} {
+		out := filepath.Join(dir, tool)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+tool)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, msg)
+		}
+	}
+	return dir
+}
+
+// TestCLIWorkflow drives the full toolchain through the real binaries:
+// edit a script with nsced, assemble with nscasm, execute with nscsim,
+// render with nscviz.
+func TestCLIWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+
+	script := filepath.Join(work, "prog.nse")
+	if err := os.WriteFile(script, []byte(`
+doc cli
+var u plane=0 base=0 len=64
+var v plane=1 base=0 len=64
+place memplane Mu at 1 2 plane=0
+place memplane Mv at 40 2 plane=1
+place singlet S at 20 2
+op S.u0 mul constb=3
+connect Mu.rd -> S.u0.a
+connect S.u0.o -> Mv.wr
+dma Mu rd var=u stride=1 count=8
+dma Mv wr var=v stride=1 count=8
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(name string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		cmd.Dir = work
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	// nsced: script → semantic JSON + checks + render.
+	out := run("nsced", "-script", script, "-o", "prog.json", "-check", "-render", "0")
+	if !strings.Contains(out, "check: clean") {
+		t.Errorf("nsced check output: %q", out)
+	}
+	if !strings.Contains(out, "mul") {
+		t.Errorf("nsced render missing op: %q", out)
+	}
+
+	// nscasm: JSON → binary microcode + disassembly.
+	out = run("nscasm", "-in", "prog.json", "-o", "prog.nscm", "-dis", "-stats")
+	if !strings.Contains(out, "mul") || !strings.Contains(out, "pipeline 0") {
+		t.Errorf("nscasm output: %q", out)
+	}
+
+	// nscsim: load data, run, dump.
+	data := filepath.Join(work, "u.txt")
+	if err := os.WriteFile(data, []byte("1 2 3 4 5 6 7 8"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = run("nscsim", "-prog", "prog.nscm", "-load", "0:0:"+data, "-dump", "1:0:8")
+	for _, want := range []string{"executed 1 instruction", "plane 1 @0: 3 6 9 12 15 18 21 24"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("nscsim output missing %q:\n%s", want, out)
+		}
+	}
+
+	// nscviz: datapath, icons, document rendering in all formats.
+	out = run("nscviz", "-datapath")
+	if !strings.Contains(out, "FLONET") {
+		t.Errorf("nscviz datapath: %q", out)
+	}
+	out = run("nscviz", "-icons")
+	if !strings.Contains(out, "triplet") {
+		t.Errorf("nscviz icons: %q", out)
+	}
+	out = run("nscviz", "-in", "prog.json", "-format", "net")
+	if !strings.Contains(out, "S.u0 = mul(Mu.rd, 3)") {
+		t.Errorf("nscviz netlist: %q", out)
+	}
+	out = run("nscviz", "-in", "prog.json", "-format", "svg")
+	if !strings.HasPrefix(out, "<svg") {
+		t.Errorf("nscviz svg: %q", out[:40])
+	}
+
+	// Round trip through the textual microassembler: disassemble with
+	// nscasm -dis, reassemble with nscasm -asm, outputs must execute
+	// identically.
+	dis := run("nscasm", "-in", "prog.json", "-dis")
+	// Strip the stderr banner if it interleaved; keep instr sections.
+	idx := strings.Index(dis, "--- instr")
+	if idx < 0 {
+		t.Fatalf("no listing in: %q", dis)
+	}
+	listing := filepath.Join(work, "prog.asm")
+	if err := os.WriteFile(listing, []byte(dis[idx:]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run("nscasm", "-asm", listing, "-o", "prog2.nscm")
+	out = run("nscsim", "-prog", "prog2.nscm", "-load", "0:0:"+data, "-dump", "1:0:8")
+	if !strings.Contains(out, "plane 1 @0: 3 6 9 12 15 18 21 24") {
+		t.Errorf("reassembled program differs:\n%s", out)
+	}
+
+	// Error paths exit non-zero.
+	for _, bad := range [][]string{
+		{"nscasm", "-in", "missing.json"},
+		{"nscsim", "-prog", "missing.nscm"},
+		{"nscviz", "-in", "missing.json"},
+	} {
+		cmd := exec.Command(filepath.Join(bin, bad[0]), bad[1:]...)
+		cmd.Dir = work
+		if err := cmd.Run(); err == nil {
+			t.Errorf("%v should fail", bad)
+		}
+	}
+}
+
+// TestCLIExamplesRun executes every example main end to end.
+func TestCLIExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs examples")
+	}
+	cases := []struct {
+		dir  string
+		args []string
+		want string
+	}{
+		{"quickstart", nil, "all 1024 results correct"},
+		{"jacobi3d", []string{"-n", "6", "-tol", "1e-3"}, "bit-identical"},
+		{"hypercube", []string{"-n", "6", "-slab", "2", "-dim", "1"}, "eff%"},
+		{"editor-session", nil, "REJECTED"},
+		{"multigrid", []string{"-n", "9", "-levels", "2"}, "bit-identical"},
+		{"compiler", []string{"-n", "8"}, "match the host mirror"},
+		{"wave", []string{"-n", "6", "-steps", "12"}, "bit-identical"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			args := append([]string{"run", "./examples/" + tc.dir}, tc.args...)
+			cmd := exec.Command("go", args...)
+			cmd.Env = os.Environ()
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s: %v\n%s", tc.dir, err, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Errorf("example %s output missing %q", tc.dir, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,106 @@
+// Command nscasm is the microcode generator as a standalone tool: it
+// reads a semantic document (nsced's JSON output), runs the thorough
+// checker pass, and assembles executable NSC microcode.
+//
+// Usage:
+//
+//	nscasm [-subset] -in doc.json [-o prog.nscm] [-dis] [-stats]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/codegen"
+	"repro/internal/diagram"
+	"repro/internal/microcode"
+)
+
+func main() {
+	subset := flag.Bool("subset", false, "use the simplified architectural subset model")
+	in := flag.String("in", "", "semantic document (JSON) to assemble")
+	asm := flag.String("asm", "", "textual microassembler listing to assemble instead")
+	out := flag.String("o", "", "write the microcode program to this file")
+	dis := flag.Bool("dis", false, "print the disassembly of the generated program")
+	stats := flag.Bool("stats", false, "print per-pipeline elaboration statistics")
+	flag.Parse()
+
+	if *in == "" && *asm == "" {
+		fmt.Fprintln(os.Stderr, "usage: nscasm -in doc.json | -asm listing.txt [-o prog.nscm] [-dis] [-stats]")
+		os.Exit(2)
+	}
+	cfg := arch.Default()
+	if *subset {
+		cfg = arch.Subset()
+	}
+	inv, err := arch.NewInventory(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	gen := codegen.New(inv)
+
+	var prog *microcode.Program
+	if *asm != "" {
+		// Hand-written textual microcode: the §6 baseline workflow.
+		f, err := os.Open(*asm)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = gen.F.AssembleProgram(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if err := prog.Validate(); err != nil {
+			fatal(err)
+		}
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		doc, err := diagram.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		var rep *codegen.Report
+		prog, rep, err = gen.Document(doc)
+		if err != nil {
+			fatal(err)
+		}
+		for _, w := range rep.Warnings {
+			fmt.Fprintln(os.Stderr, "warning:", w)
+		}
+		if *stats {
+			for _, pi := range rep.Pipes {
+				fmt.Printf("pipeline %d: vector=%d fill=%d cycles FUs=%d flops/elem=%d\n",
+					pi.Pipe, pi.VectorLen, pi.FillCycles, pi.FUsUsed, pi.FLOPsPerElement)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "nscasm: %d instruction(s), %d bits each (%d fields)\n",
+		prog.Len(), gen.F.Bits, gen.F.NumFields())
+	if *dis {
+		fmt.Print(prog.Disassemble())
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := prog.WriteTo(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nscasm:", err)
+	os.Exit(1)
+}

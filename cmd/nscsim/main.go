@@ -1,0 +1,144 @@
+// Command nscsim executes assembled NSC microcode on the node
+// simulator and reports the sequencer outcome and performance
+// statistics.
+//
+// Usage:
+//
+//	nscsim [-subset] -prog prog.nscm [-max n] [-load plane:addr:file] [-dump plane:addr:count]
+//
+// -load fills a memory plane from a whitespace-separated list of
+// float64 values before the run; -dump prints plane contents after.
+// Both flags repeat.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/microcode"
+	"repro/internal/sim"
+)
+
+type multi []string
+
+func (m *multi) String() string     { return strings.Join(*m, ",") }
+func (m *multi) Set(s string) error { *m = append(*m, s); return nil }
+
+func main() {
+	subset := flag.Bool("subset", false, "use the simplified architectural subset model")
+	progPath := flag.String("prog", "", "microcode program to execute")
+	max := flag.Int64("max", 0, "instruction budget (0 = default)")
+	var loads, dumps multi
+	flag.Var(&loads, "load", "plane:addr:file — preload plane data")
+	flag.Var(&dumps, "dump", "plane:addr:count — print plane words after the run")
+	flag.Parse()
+
+	if *progPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: nscsim -prog prog.nscm [-load plane:addr:file] [-dump plane:addr:count]")
+		os.Exit(2)
+	}
+	cfg := arch.Default()
+	if *subset {
+		cfg = arch.Subset()
+	}
+	node, err := sim.NewNode(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Open(*progPath)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := microcode.ReadProgram(f, node.F)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, l := range loads {
+		plane, addr, path, err := splitRef(l)
+		if err != nil {
+			fatal(err)
+		}
+		vals, err := readFloats(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := node.WriteWords(plane, addr, vals); err != nil {
+			fatal(err)
+		}
+	}
+
+	res, err := node.Run(prog, *max)
+	if err != nil {
+		fatal(err)
+	}
+	st := node.Stats
+	fmt.Printf("executed %d instruction(s), halted at pc %d\n", res.Executed, res.FinalPC)
+	fmt.Printf("cycles %d (%.3f ms at %.0f MHz)  FLOPs %d  %.1f MFLOPS  interrupts %d  flags %016b\n",
+		st.Cycles, st.Seconds(cfg.ClockHz)*1e3, cfg.ClockHz/1e6, st.FLOPs, st.MFLOPS(cfg.ClockHz), len(node.IRQs), node.Flags)
+
+	for _, d := range dumps {
+		plane, addr, countStr, err := splitRef(d)
+		if err != nil {
+			fatal(err)
+		}
+		count, err := strconv.Atoi(countStr)
+		if err != nil {
+			fatal(fmt.Errorf("dump count: %w", err))
+		}
+		vals, err := node.ReadWords(plane, addr, count)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("plane %d @%d:", plane, addr)
+		for _, v := range vals {
+			fmt.Printf(" %g", v)
+		}
+		fmt.Println()
+	}
+}
+
+// splitRef parses "plane:addr:rest".
+func splitRef(s string) (plane int, addr int64, rest string, err error) {
+	parts := strings.SplitN(s, ":", 3)
+	if len(parts) != 3 {
+		return 0, 0, "", fmt.Errorf("malformed reference %q (want plane:addr:x)", s)
+	}
+	if plane, err = strconv.Atoi(parts[0]); err != nil {
+		return 0, 0, "", fmt.Errorf("plane in %q: %w", s, err)
+	}
+	if addr, err = strconv.ParseInt(parts[1], 10, 64); err != nil {
+		return 0, 0, "", fmt.Errorf("addr in %q: %w", s, err)
+	}
+	return plane, addr, parts[2], nil
+}
+
+func readFloats(path string) ([]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var vals []float64
+	sc := bufio.NewScanner(f)
+	sc.Split(bufio.ScanWords)
+	for sc.Scan() {
+		v, err := strconv.ParseFloat(sc.Text(), 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		vals = append(vals, v)
+	}
+	return vals, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nscsim:", err)
+	os.Exit(1)
+}

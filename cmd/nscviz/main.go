@@ -1,0 +1,78 @@
+// Command nscviz renders NSC artifacts: the Figure 1 datapath diagram,
+// the Figure 4 icon palette, and saved pipeline documents as ASCII,
+// netlist or SVG.
+//
+// Usage:
+//
+//	nscviz -datapath
+//	nscviz -icons
+//	nscviz -in doc.json [-pipe n] [-format ascii|net|svg]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/diagram"
+	"repro/internal/render"
+)
+
+func main() {
+	datapath := flag.Bool("datapath", false, "print the node datapath diagram (Figure 1)")
+	icons := flag.Bool("icons", false, "print the icon palette (Figure 4)")
+	in := flag.String("in", "", "semantic document (JSON) to render")
+	pipe := flag.Int("pipe", 0, "pipeline index to render")
+	format := flag.String("format", "ascii", "output format: ascii, net, svg")
+	subset := flag.Bool("subset", false, "describe the simplified architectural subset model")
+	flag.Parse()
+
+	cfg := arch.Default()
+	if *subset {
+		cfg = arch.Subset()
+	}
+
+	switch {
+	case *datapath:
+		fmt.Print(render.Datapath(cfg.Nodes(), cfg.MemPlanes, cfg.PlaneBytes>>20,
+			cfg.CachePlanes, cfg.CacheBytes>>10, cfg.ShiftDelayUnits,
+			cfg.Triplets, cfg.Doublets, cfg.Singlets))
+		fmt.Printf("\npeak %g MFLOPS/node, %g GFLOPS and %d GB for the %d-node system\n",
+			cfg.PeakFLOPS()/1e6, cfg.PeakSystemFLOPS()/1e9, cfg.TotalMemoryBytes()>>30, cfg.Nodes())
+	case *icons:
+		fmt.Print(render.IconGallery())
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		doc, err := diagram.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		p, err := doc.Pipe(*pipe)
+		if err != nil {
+			fatal(err)
+		}
+		switch *format {
+		case "ascii":
+			fmt.Print(render.Pipeline(p))
+		case "net":
+			fmt.Print(render.Netlist(p))
+		case "svg":
+			fmt.Println(render.SVG(p))
+		default:
+			fatal(fmt.Errorf("unknown format %q", *format))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: nscviz -datapath | -icons | -in doc.json [-pipe n] [-format ascii|net|svg]")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nscviz:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,15 @@
+// Package repro reproduces "A Visual Programming Environment for the
+// Navier-Stokes Computer" (Tomboulian, Crockett, Middleton; ICASE
+// 88-6 / NASA CR-181615; ICPP 1988).
+//
+// The library lives under internal/: the machine description (arch),
+// the microcode format (microcode), the diagram document model
+// (diagram), the checker, the graphical-editor engine (editor), the
+// renderers (render), the microcode generator (codegen), the node
+// simulator (sim), the hypercube layer (hypercube), the plane
+// allocator (alloc), the stencil compiler (compiler), the debugging
+// tracer (trace), the environment façade (core), and the Jacobi
+// workload (jacobi). Executables are under cmd/, runnable examples
+// under examples/, and the per-figure benchmark harness in
+// bench_test.go. See DESIGN.md and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,161 @@
+// editor-session walks through the paper's Figures 5–10 one
+// interaction at a time: the empty display window, placing ALS icons,
+// wiring them with the checker vetoing illegal connections, filling the
+// DMA popup, programming the function units (including an asymmetry
+// veto), and the value-annotated debugging view of the conclusions.
+//
+//	go run ./examples/editor-session
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/render"
+)
+
+func step(title string) { fmt.Printf("\n=== %s ===\n\n", title) }
+
+func main() {
+	cfg := arch.Default()
+	env, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ed := env.Ed
+
+	step("Figure 4: the icon palette")
+	fmt.Print(render.IconGallery())
+
+	step("Figure 5: the empty display window")
+	fmt.Print(env.Window())
+
+	step("Figure 6/7: selecting and positioning icons")
+	for _, cmd := range []string{
+		"doc session",
+		"var u plane=0 base=0 len=512",
+		"var v plane=1 base=0 len=512",
+		"place memplane Mu at 2 3 plane=0",
+		"place memplane Mv at 44 4 plane=1",
+		"place triplet T1 at 20 1",
+	} {
+		if _, err := ed.Exec(cmd); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("  >", cmd)
+	}
+	fmt.Print(env.Window())
+
+	step("the checker vetoes at interaction time (R001: inventory)")
+	for i := 0; i < 4; i++ {
+		_, err := ed.Exec(fmt.Sprintf("place triplet X%d at 1 1", i))
+		if err != nil {
+			fmt.Printf("  > place triplet X%d  ->  REJECTED: %v\n", i, err)
+			break
+		}
+		fmt.Printf("  > place triplet X%d  ->  ok\n", i)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := ed.Exec(fmt.Sprintf("delete X%d", i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	step("Figure 10: programming function units, with the asymmetry veto")
+	if _, err := ed.Exec("op T1.u1 iadd"); err != nil {
+		fmt.Println("  > op T1.u1 iadd  ->  REJECTED:", err)
+	}
+	for _, cmd := range []string{
+		"op T1.u0 mul constb=4",
+		"op T1.u1 add constb=1",
+		"op T1.u2 maxabs reduce init=0",
+	} {
+		if _, err := ed.Exec(cmd); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("  >", cmd, " -> ok")
+	}
+
+	step("Figure 8: rubber-band connections, with a checker veto")
+	if _, err := ed.Exec("connect T1.u0.o -> T1.u0.a"); err != nil {
+		fmt.Println("  > connect T1.u0.o -> T1.u0.a  ->  REJECTED:", err)
+	}
+	for _, cmd := range []string{
+		"connect Mu.rd -> T1.u0.a",
+		"connect T1.u0.o -> T1.u1.a",
+		"connect T1.u1.o -> Mv.wr",
+		"connect T1.u1.o -> T1.u2.a",
+	} {
+		if _, err := ed.Exec(cmd); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("  >", cmd, " -> ok")
+	}
+
+	step("Figure 9: the DMA popup subwindow")
+	for _, cmd := range []string{
+		"dma Mu rd var=u stride=1 count=512",
+		"dma Mv wr var=v stride=1 count=512",
+		"compare T1.u2 gt 1000 flag=2",
+	} {
+		if _, err := ed.Exec(cmd); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("  >", cmd, " -> ok")
+	}
+	// A bounds error the checker catches in the popup:
+	if _, err := ed.Exec("dma Mu rd var=u stride=1 count=513"); err != nil {
+		fmt.Println("  > dma Mu rd count=513  ->  REJECTED:", err)
+	}
+
+	step("undo/redo: editor services over graphical objects")
+	if _, err := ed.Exec("move T1 to 24 2"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  > move T1 to 24 2")
+	if _, err := ed.Exec("undo"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  > undo (T1 back at 20,1)")
+
+	step("the completed diagram and its check")
+	msg, err := ed.Exec("check")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  >", msg)
+	art, err := env.RenderPipeline(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(art)
+
+	step("microcode generation (Figure 3's final stage)")
+	prog, rep, err := env.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d instruction(s) of %d bits (%d fields); pipeline fill %d cycles, %d FUs\n",
+		prog.Len(), prog.F.Bits, prog.F.NumFields(), rep.Pipes[0].FillCycles, rep.Pipes[0].FUsUsed)
+
+	step("the conclusions' debugging extension: values flowing through the pipeline")
+	u := make([]float64, 512)
+	for i := range u {
+		u[i] = float64(i)
+	}
+	if err := env.Node.WriteWords(0, 0, u); err != nil {
+		log.Fatal(err)
+	}
+	annotated, err := env.Trace(0, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(annotated)
+
+	step("message strip transcript (the session's history)")
+	for _, ev := range ed.Log {
+		fmt.Println("  ", ev)
+	}
+}

@@ -1,0 +1,195 @@
+// wave runs an explicit leap-frog time integration of the 3-D wave
+// equation — the canonical fixed-step CFD-adjacent loop — entirely on
+// the simulated NSC: three ping-pong-pang pipelines rotate the time
+// levels across memory planes, and the sequencer's hardware loop
+// counter drives the time loop with no host involvement, so the whole
+// run is ONE sequencer program.
+//
+//	u^{t+1} = 2u^t − u^{t−1} + c²·(Δt/h)²·Δu^t     (interior; u=0 boundary)
+//
+//	go run ./examples/wave [-n 10] [-steps 60]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/render"
+)
+
+func main() {
+	n := flag.Int("n", 10, "grid points per dimension")
+	steps := flag.Int("steps", 60, "time steps (multiple of 3)")
+	flag.Parse()
+	if *steps%3 != 0 {
+		log.Fatal("steps must be a multiple of 3 (the plane rotation period)")
+	}
+
+	cfg := arch.Default()
+	env, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	nn := *n * *n
+	cells := nn * *n
+	c2 := 0.25 // c²·(Δt/h)², stable for the 7-point Laplacian
+	// Planes: time levels rotate through 0,1,2; mask in 3.
+	script := buildScript(*n, cells, nn, c2, *steps)
+	if _, err := env.Script(script); err != nil {
+		log.Fatal(err)
+	}
+	prog, rep, err := env.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("program: %d instructions (3 rotation phases + loop + halt), %d bits each\n",
+		prog.Len(), prog.F.Bits)
+	for _, pi := range rep.Pipes {
+		fmt.Printf("  pipeline %d: %d FUs, fill %d cycles\n", pi.Pipe, pi.FUsUsed, pi.FillCycles)
+	}
+
+	// Initial condition: a centred Gaussian bump at t=0 and t=-1
+	// (standing start); mask = interior indicator.
+	prev := make([]float64, cells)
+	cur := make([]float64, cells)
+	mask := make([]float64, cells)
+	for k := 0; k < *n; k++ {
+		for j := 0; j < *n; j++ {
+			for i := 0; i < *n; i++ {
+				g := i + j**n + k*nn
+				d2 := sq(i-*n/2) + sq(j-*n/2) + sq(k-*n/2)
+				v := math.Exp(-float64(d2) / 4)
+				if i > 0 && i < *n-1 && j > 0 && j < *n-1 && k > 0 && k < *n-1 {
+					mask[g] = 1
+					cur[g] = v
+					prev[g] = v
+				}
+			}
+		}
+	}
+	for plane, data := range map[int][]float64{0: prev, 1: cur, 3: mask} {
+		if err := env.Node.WriteWords(plane, 0, data); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res, err := env.Execute(prog, int64(3**steps+10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The sequencer ran the whole time loop itself.
+	fmt.Printf("executed %d instructions for %d time steps — one host call\n",
+		res.Executed, *steps)
+
+	// Host mirror for validation.
+	hPrev := append([]float64(nil), prev...)
+	hCur := append([]float64(nil), cur...)
+	for t := 0; t < *steps; t++ {
+		hNext := make([]float64, cells)
+		for g := 0; g < cells; g++ {
+			// Pairwise association exactly as the adder tree groups it.
+			a1 := at(hCur, g+1, cells) + at(hCur, g-1, cells)
+			a2 := at(hCur, g+*n, cells) + at(hCur, g-*n, cells)
+			a3 := at(hCur, g+nn, cells) + at(hCur, g-nn, cells)
+			lap := a3 + (a1 + a2)
+			t1 := hCur[g] * (2 - 6*c2)
+			t2 := t1 - hPrev[g]
+			t3 := lap * c2
+			hNext[g] = (t2 + t3) * mask[g]
+		}
+		hPrev, hCur = hCur, hNext
+	}
+	// After `steps` rotations the latest level sits in plane steps%3+1
+	// ... the rotation is (0,1)->2, (1,2)->0, (2,0)->1 repeating; after
+	// 3k steps the latest is back in plane 1.
+	got, err := env.Node.ReadWords(1, 0, cells)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact := 0
+	for g := range hCur {
+		if got[g] == hCur[g] {
+			exact++
+		}
+	}
+	fmt.Printf("agreement with host mirror after %d steps: %d/%d values bit-identical\n",
+		*steps, exact, cells)
+	fmt.Print(render.StatsReport(env.Node.Stats, cfg))
+}
+
+func sq(x int) int { return x * x }
+
+func at(u []float64, g, cells int) float64 {
+	if g < 0 || g >= cells {
+		return 0
+	}
+	return u[g]
+}
+
+// buildScript emits the three rotation pipelines and the counted loop.
+func buildScript(n, cells, nn int, c2 float64, steps int) string {
+	var sb strings.Builder
+	sb.WriteString("doc wave3d\n")
+	for p := 0; p < 3; p++ {
+		fmt.Fprintf(&sb, "var u%d plane=%d base=0 len=%d\n", p, p, cells+nn)
+	}
+	fmt.Fprintf(&sb, "var mask plane=3 base=0 len=%d\n", cells)
+
+	phase := func(prev, cur, next int) {
+		c := cells + nn
+		fmt.Fprintf(&sb, "place memplane Mc at 1 6 plane=%d\n", cur)
+		fmt.Fprintf(&sb, "dma Mc rd var=u%d stride=1 count=%d\n", cur, c)
+		fmt.Fprintf(&sb, "place memplane Mp at 1 16 plane=%d\n", prev)
+		fmt.Fprintf(&sb, "dma Mp rd var=u%d stride=1 count=%d skip=%d\n", prev, cells, nn)
+		fmt.Fprintf(&sb, "place memplane Mm at 1 21 plane=3\n")
+		fmt.Fprintf(&sb, "dma Mm rd var=mask stride=1 count=%d skip=%d\n", cells, nn)
+		fmt.Fprintf(&sb, "place memplane Mn at 82 12 plane=%d\n", next)
+		fmt.Fprintf(&sb, "dma Mn wr var=u%d stride=1 count=%d skip=%d\n", next, cells, nn)
+		sb.WriteString("place sdu Z at 15 2\n")
+		fmt.Fprintf(&sb, "taps Z %d %d %d %d %d %d %d\n", nn-1, nn+1, nn-n, nn+n, 0, 2*nn, nn)
+		sb.WriteString("place triplet T1 at 30 1\nplace triplet T2 at 30 12\nplace triplet T3 at 48 4\n")
+		// Laplacian neighbour sum.
+		sb.WriteString("op T1.u0 add\nop T1.u1 add\nop T1.u2 add\nop T2.u0 add\nop T2.u1 add\n")
+		// t1 = u·(2−6c²); t2 = t1 − uprev; t3 = lap·c²; out = (t2+t3)·mask.
+		fmt.Fprintf(&sb, "op T2.u2 mul constb=%.17g\n", 2-6*c2)
+		sb.WriteString("op T3.u0 sub\n")
+		fmt.Fprintf(&sb, "op T3.u1 mul constb=%.17g\n", c2)
+		sb.WriteString("op T3.u2 add\nplace doublet D at 66 6\nop D.u0 mul\n")
+		for _, w := range []string{
+			"Mc.rd -> Z.in",
+			"Z.t0 -> T1.u0.a", "Z.t1 -> T1.u0.b",
+			"Z.t2 -> T1.u1.a", "Z.t3 -> T1.u1.b",
+			"Z.t4 -> T1.u2.a", "Z.t5 -> T1.u2.b",
+			"T1.u0.o -> T2.u0.a", "T1.u1.o -> T2.u0.b",
+			"T1.u2.o -> T2.u1.a", "T2.u0.o -> T2.u1.b", // lap
+			"Z.t6 -> T2.u2.a",                        // u·(2−6c²)
+			"T2.u2.o -> T3.u0.a", "Mp.rd -> T3.u0.b", // − uprev
+			"T2.u1.o -> T3.u1.a", // lap·c²
+			"T3.u0.o -> T3.u2.a", "T3.u1.o -> T3.u2.b",
+			"T3.u2.o -> D.u0.a", "Mm.rd -> D.u0.b",
+			"D.u0.o -> Mn.wr",
+		} {
+			fmt.Fprintf(&sb, "connect %s\n", w)
+		}
+	}
+
+	phase(0, 1, 2)
+	sb.WriteString("pipe new rot1\n")
+	phase(1, 2, 0)
+	sb.WriteString("pipe new rot2\n")
+	phase(2, 0, 1)
+
+	// Control flow: load the counter, run the three phases, loop.
+	fmt.Fprintf(&sb, "flow label=init pipe=-1 loadctr=%d ctr=0\n", steps/3)
+	sb.WriteString("flow label=p0 pipe=0\n")
+	sb.WriteString("flow label=p1 pipe=1\n")
+	sb.WriteString("flow label=p2 pipe=2 cond=loop ctr=0 branch=p0\n")
+	sb.WriteString("flow label=done pipe=-1 cond=halt\n")
+	return sb.String()
+}

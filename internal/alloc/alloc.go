@@ -1,0 +1,209 @@
+// Package alloc studies the memory-plane allocation problem the paper
+// identifies as the core obstacle to NSC compilation (§3): "during an
+// instruction a function unit can read or write in only a single
+// memory plane", so every variable streamed by one instruction must
+// live in its own plane — "the optimum layout for one pipeline may be
+// unworkable for the next. In some cases, it may be necessary to
+// maintain multiple copies of arrays, or to relocate them between
+// phases of the computation."
+//
+// The package provides a naive first-fit allocator (capacity only,
+// plane-oblivious — what a straightforward compiler would do), a
+// conflict-graph coloring allocator, and a cost model that prices the
+// copy/relocation instructions a conflicted layout forces.
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+)
+
+// Var is one array variable to be placed.
+type Var struct {
+	Name  string
+	Words int64
+}
+
+// Use records the set of variables one pipeline instruction streams
+// simultaneously. Variables in the same Use conflict: they need
+// distinct planes, or the instruction must be split with staging
+// copies.
+type Use struct {
+	Label string
+	Vars  []string
+}
+
+// Assignment maps variables to memory planes.
+type Assignment map[string]int
+
+// Naive packs variables into planes by capacity alone, first-fit in
+// declaration order — oblivious to which variables are streamed
+// together. This is the §3 straw man: it produces same-plane conflicts
+// whenever co-streamed arrays happen to fit together.
+func Naive(vars []Var, planes int, planeWords int64) (Assignment, error) {
+	free := make([]int64, planes)
+	for i := range free {
+		free[i] = planeWords
+	}
+	a := Assignment{}
+	for _, v := range vars {
+		placed := false
+		for p := 0; p < planes; p++ {
+			if free[p] >= v.Words {
+				a[v.Name] = p
+				free[p] -= v.Words
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("alloc: %q (%d words) does not fit in any plane", v.Name, v.Words)
+		}
+	}
+	return a, nil
+}
+
+// Color builds the conflict graph from the uses and colors it greedily
+// (largest-degree-first) with plane capacities as an additional
+// constraint. Variables that are never co-streamed may share a plane.
+func Color(vars []Var, uses []Use, planes int, planeWords int64) (Assignment, error) {
+	words := map[string]int64{}
+	for _, v := range vars {
+		words[v.Name] = v.Words
+	}
+	adj := map[string]map[string]bool{}
+	for _, v := range vars {
+		adj[v.Name] = map[string]bool{}
+	}
+	for _, u := range uses {
+		for i, a := range u.Vars {
+			if _, ok := words[a]; !ok {
+				return nil, fmt.Errorf("alloc: use %q references undeclared %q", u.Label, a)
+			}
+			for _, b := range u.Vars[i+1:] {
+				if a == b {
+					return nil, fmt.Errorf("alloc: use %q streams %q twice; one plane has one DMA controller", u.Label, a)
+				}
+				adj[a][b] = true
+				adj[b][a] = true
+			}
+		}
+	}
+	order := make([]string, 0, len(vars))
+	for _, v := range vars {
+		order = append(order, v.Name)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		di, dj := len(adj[order[i]]), len(adj[order[j]])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+
+	free := make([]int64, planes)
+	for i := range free {
+		free[i] = planeWords
+	}
+	a := Assignment{}
+	for _, name := range order {
+		used := map[int]bool{}
+		for nb := range adj[name] {
+			if p, ok := a[nb]; ok {
+				used[p] = true
+			}
+		}
+		placed := false
+		for p := 0; p < planes; p++ {
+			if !used[p] && free[p] >= words[name] {
+				a[name] = p
+				free[p] -= words[name]
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("alloc: cannot place %q: %d conflicting planes, capacity exhausted", name, len(used))
+		}
+	}
+	return a, nil
+}
+
+// Conflicts counts, per use, how many variables collide on a plane
+// (i.e. how many staging copies the instruction needs).
+func Conflicts(a Assignment, uses []Use) int {
+	total := 0
+	for _, u := range uses {
+		seen := map[int]int{}
+		for _, v := range u.Vars {
+			seen[a[v]]++
+		}
+		for _, n := range seen {
+			if n > 1 {
+				total += n - 1
+			}
+		}
+	}
+	return total
+}
+
+// CostReport prices a layout for one execution of each use.
+type CostReport struct {
+	Conflicts int
+	// CopyInstructions is the number of staging copies needed: each
+	// conflicting variable beyond the first per plane must be copied to
+	// a scratch plane by an extra instruction before the real one runs.
+	CopyInstructions int
+	// ExtraCycles is the total cost of those copies: issue overhead
+	// plus streaming every word through a pass-through unit.
+	ExtraCycles int64
+	// ExtraWords is the scratch memory consumed by the copies.
+	ExtraWords int64
+}
+
+// Cost evaluates a layout: for every use, every same-plane collision
+// forces one copy instruction streaming the variable's words through
+// the pipeline to a scratch plane (the "multiple copies of arrays, or
+// ... relocate them between phases" of §3).
+func Cost(a Assignment, vars []Var, uses []Use, cfg arch.Config) CostReport {
+	words := map[string]int64{}
+	for _, v := range vars {
+		words[v.Name] = v.Words
+	}
+	rep := CostReport{}
+	movLat := int64(arch.OpMov.Info().Latency)
+	for _, u := range uses {
+		byPlane := map[int][]string{}
+		for _, v := range u.Vars {
+			byPlane[a[v]] = append(byPlane[a[v]], v)
+		}
+		for _, group := range byPlane {
+			for i := 1; i < len(group); i++ {
+				rep.Conflicts++
+				rep.CopyInstructions++
+				w := words[group[i]]
+				rep.ExtraCycles += int64(cfg.IssueOverheadCycles) + movLat + w
+				rep.ExtraWords += w
+			}
+		}
+	}
+	return rep
+}
+
+// JacobiWorkload returns the variables and uses of the paper's example
+// problem (both ping-pong sweeps), for the allocation experiment.
+func JacobiWorkload(cells int64) ([]Var, []Use) {
+	vars := []Var{
+		{Name: "u", Words: cells},
+		{Name: "v", Words: cells},
+		{Name: "f", Words: cells},
+		{Name: "mask", Words: cells},
+	}
+	uses := []Use{
+		{Label: "sweep u->v", Vars: []string{"u", "f", "mask", "v"}},
+		{Label: "sweep v->u", Vars: []string{"v", "f", "mask", "u"}},
+	}
+	return vars, uses
+}

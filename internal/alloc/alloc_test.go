@@ -1,0 +1,166 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+func TestNaivePacksFirstFit(t *testing.T) {
+	vars := []Var{{"a", 100}, {"b", 100}, {"c", 100}}
+	a, err := Naive(vars, 4, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a and b fit in plane 0; c spills to plane 1.
+	if a["a"] != 0 || a["b"] != 0 || a["c"] != 1 {
+		t.Errorf("naive = %v", a)
+	}
+}
+
+func TestNaiveCapacityFailure(t *testing.T) {
+	if _, err := Naive([]Var{{"big", 1000}}, 2, 500); err == nil {
+		t.Error("oversized variable placed")
+	}
+}
+
+func TestColorSeparatesCoStreamedVars(t *testing.T) {
+	vars := []Var{{"u", 100}, {"v", 100}, {"f", 100}, {"mask", 100}}
+	uses := []Use{{Label: "sweep", Vars: []string{"u", "v", "f", "mask"}}}
+	a, err := Color(vars, uses, 16, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, v := range vars {
+		p := a[v.Name]
+		if seen[p] {
+			t.Fatalf("coloring put two co-streamed vars in plane %d: %v", p, a)
+		}
+		seen[p] = true
+	}
+	if Conflicts(a, uses) != 0 {
+		t.Error("colored layout still conflicts")
+	}
+}
+
+func TestColorSharesWhenNoConflict(t *testing.T) {
+	// Two variables never streamed together may share a plane when
+	// capacity demands it.
+	vars := []Var{{"a", 400}, {"b", 400}}
+	uses := []Use{{Vars: []string{"a"}}, {Vars: []string{"b"}}}
+	a, err := Color(vars, uses, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a["a"] != a["b"] {
+		t.Error("non-conflicting vars forced apart despite single plane")
+	}
+}
+
+func TestColorFailsWhenConflictExceedsPlanes(t *testing.T) {
+	vars := []Var{{"a", 1}, {"b", 1}, {"c", 1}}
+	uses := []Use{{Vars: []string{"a", "b", "c"}}}
+	if _, err := Color(vars, uses, 2, 100); err == nil {
+		t.Error("3-clique colored with 2 planes")
+	}
+}
+
+func TestColorRejectsBadUses(t *testing.T) {
+	vars := []Var{{"a", 1}}
+	if _, err := Color(vars, []Use{{Vars: []string{"ghost"}}}, 4, 10); err == nil {
+		t.Error("undeclared use accepted")
+	}
+	if _, err := Color(vars, []Use{{Vars: []string{"a", "a"}}}, 4, 10); err == nil {
+		t.Error("double-streamed variable accepted")
+	}
+}
+
+func TestConflictsCount(t *testing.T) {
+	a := Assignment{"u": 0, "v": 0, "f": 0, "m": 1}
+	uses := []Use{{Vars: []string{"u", "v", "f", "m"}}}
+	// u,v,f share plane 0: two extra copies needed.
+	if got := Conflicts(a, uses); got != 2 {
+		t.Errorf("conflicts = %d, want 2", got)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	cfg := arch.Default()
+	vars := []Var{{"u", 1000}, {"v", 1000}}
+	uses := []Use{{Vars: []string{"u", "v"}}}
+	bad := Assignment{"u": 0, "v": 0}
+	good := Assignment{"u": 0, "v": 1}
+	cb := Cost(bad, vars, uses, cfg)
+	cg := Cost(good, vars, uses, cfg)
+	if cg.Conflicts != 0 || cg.ExtraCycles != 0 {
+		t.Errorf("good layout costed: %+v", cg)
+	}
+	if cb.Conflicts != 1 || cb.CopyInstructions != 1 {
+		t.Errorf("bad layout: %+v", cb)
+	}
+	wantCycles := int64(cfg.IssueOverheadCycles) + int64(arch.OpMov.Info().Latency) + 1000
+	if cb.ExtraCycles != wantCycles {
+		t.Errorf("extra cycles = %d, want %d", cb.ExtraCycles, wantCycles)
+	}
+	if cb.ExtraWords != 1000 {
+		t.Errorf("extra words = %d", cb.ExtraWords)
+	}
+}
+
+func TestJacobiWorkloadShape(t *testing.T) {
+	vars, uses := JacobiWorkload(512)
+	if len(vars) != 4 || len(uses) != 2 {
+		t.Fatalf("workload shape %d/%d", len(vars), len(uses))
+	}
+	// The colored layout for the Jacobi workload is conflict-free; the
+	// naive one (everything fits in plane 0) is not — the paper's P4
+	// contrast in miniature.
+	cfg := arch.Default()
+	colored, err := Color(vars, uses, cfg.MemPlanes, cfg.PlaneWords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Conflicts(colored, uses) != 0 {
+		t.Error("colored Jacobi layout conflicts")
+	}
+	naive, err := Naive(vars, cfg.MemPlanes, cfg.PlaneWords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Conflicts(naive, uses) == 0 {
+		t.Error("naive Jacobi layout unexpectedly conflict-free (all arrays fit one plane, so they collide)")
+	}
+	if Cost(naive, vars, uses, cfg).ExtraCycles <= Cost(colored, vars, uses, cfg).ExtraCycles {
+		t.Error("naive layout should cost more")
+	}
+}
+
+// Property: coloring never violates the conflict constraint when it
+// succeeds, for random small workloads.
+func TestColorProperty(t *testing.T) {
+	fn := func(edges []uint8) bool {
+		names := []string{"a", "b", "c", "d", "e", "f"}
+		vars := make([]Var, len(names))
+		for i, n := range names {
+			vars[i] = Var{Name: n, Words: 10}
+		}
+		var uses []Use
+		for _, e := range edges {
+			x, y := int(e%6), int((e/6)%6)
+			if x == y {
+				continue
+			}
+			uses = append(uses, Use{Vars: []string{names[x], names[y]}})
+		}
+		a, err := Color(vars, uses, 6, 1000)
+		if err != nil {
+			return true // capacity/chromatic failure is a legal outcome
+		}
+		return Conflicts(a, uses) == 0
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,60 @@
+package arch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The machine description is serializable so the knowledge base can be
+// maintained as data: "the final design of the NSC hardware is not
+// complete ... some changes can be handled merely by updating the
+// knowledge base, with minimal impact on the graphical editor and
+// microcode generator" (§2, §4). Everything downstream — checker
+// limits, microcode field widths, simulator structure — derives from
+// the Config, so a revised machine description is a JSON edit.
+
+// configJSON mirrors Config with explicit field names for stability.
+type configJSON struct {
+	Triplets            int     `json:"triplets"`
+	Doublets            int     `json:"doublets"`
+	Singlets            int     `json:"singlets"`
+	TotalFUs            int     `json:"totalFUs"`
+	MemPlanes           int     `json:"memPlanes"`
+	PlaneBytes          int64   `json:"planeBytes"`
+	CachePlanes         int     `json:"cachePlanes"`
+	CacheBytes          int64   `json:"cacheBytes"`
+	ShiftDelayUnits     int     `json:"shiftDelayUnits"`
+	SDUTaps             int     `json:"sduTaps"`
+	SDUBufferLen        int     `json:"sduBufferLen"`
+	RegFileWords        int     `json:"regFileWords"`
+	MaxDelay            int     `json:"maxDelay"`
+	ClockHz             float64 `json:"clockHz"`
+	IssueOverheadCycles int     `json:"issueOverheadCycles"`
+	WordBytes           int     `json:"wordBytes"`
+	HypercubeDim        int     `json:"hypercubeDim"`
+	RouterHopCycles     int     `json:"routerHopCycles"`
+	RouterBytesPerCycle int     `json:"routerBytesPerCycle"`
+}
+
+// WriteConfig serializes the machine description as indented JSON.
+func WriteConfig(w io.Writer, c Config) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(configJSON(c))
+}
+
+// ReadConfig deserializes and validates a machine description.
+func ReadConfig(r io.Reader) (Config, error) {
+	var j configJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&j); err != nil {
+		return Config{}, fmt.Errorf("arch: decoding machine description: %w", err)
+	}
+	c := Config(j)
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}

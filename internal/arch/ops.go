@@ -1,0 +1,157 @@
+package arch
+
+import "fmt"
+
+// Op is a functional-unit operation code. Opcodes are stable: they are
+// encoded into microcode fields and decoded by the simulator.
+type Op uint8
+
+// Floating-point operations (every unit).
+const (
+	// OpNop passes no data; the unit is idle.
+	OpNop Op = iota
+	// OpMov passes input A through unchanged.
+	OpMov
+	// OpAdd computes A + B.
+	OpAdd
+	// OpSub computes A - B.
+	OpSub
+	// OpMul computes A * B.
+	OpMul
+	// OpDiv computes A / B.
+	OpDiv
+	// OpNeg computes -A.
+	OpNeg
+	// OpAbs computes |A|.
+	OpAbs
+	// OpFMA computes A*B + C where C accumulates in the register file
+	// (used with reduction mode).
+	OpFMA
+	// OpRecip computes 1/A (seeded Newton iteration in hardware).
+	OpRecip
+
+	// Integer/logical operations (integer-capable unit only).
+
+	// OpIAdd computes integer A + B.
+	OpIAdd
+	// OpISub computes integer A - B.
+	OpISub
+	// OpIMul computes integer A * B.
+	OpIMul
+	// OpAnd computes bitwise A & B.
+	OpAnd
+	// OpOr computes bitwise A | B.
+	OpOr
+	// OpXor computes bitwise A ^ B.
+	OpXor
+	// OpShl computes A << B.
+	OpShl
+	// OpShr computes A >> B (logical).
+	OpShr
+	// OpCmpLT yields 1.0 if A < B else 0.0.
+	OpCmpLT
+	// OpCmpEQ yields 1.0 if A == B else 0.0.
+	OpCmpEQ
+
+	// Min/max operations (min/max-capable unit only).
+
+	// OpMax computes max(A, B).
+	OpMax
+	// OpMin computes min(A, B).
+	OpMin
+	// OpMaxAbs computes max(|A|, |B|).
+	OpMaxAbs
+
+	opCount
+)
+
+// NumOps is the number of defined opcodes; microcode allocates a field
+// wide enough to hold it.
+const NumOps = int(opCount)
+
+// OpInfo describes the static properties of an operation.
+type OpInfo struct {
+	Name string
+	// Arity is the number of stream inputs consumed (1 or 2; OpNop is 0).
+	Arity int
+	// Needs is the capability a unit must have to perform the op.
+	Needs Capability
+	// Latency is the pipeline latency of the unit for this op, in
+	// clock cycles.
+	Latency int
+	// FLOPs is the floating-point operation count per result, used by
+	// the simulator's MFLOPS accounting.
+	FLOPs int
+	// Reducible reports whether the op may be used in reduction mode
+	// (feedback accumulation in the register file).
+	Reducible bool
+}
+
+var opTable = [opCount]OpInfo{
+	OpNop:    {Name: "nop", Arity: 0, Needs: CapFloat, Latency: 1, FLOPs: 0},
+	OpMov:    {Name: "mov", Arity: 1, Needs: CapFloat, Latency: 1, FLOPs: 0},
+	OpAdd:    {Name: "add", Arity: 2, Needs: CapFloat, Latency: 3, FLOPs: 1, Reducible: true},
+	OpSub:    {Name: "sub", Arity: 2, Needs: CapFloat, Latency: 3, FLOPs: 1},
+	OpMul:    {Name: "mul", Arity: 2, Needs: CapFloat, Latency: 4, FLOPs: 1},
+	OpDiv:    {Name: "div", Arity: 2, Needs: CapFloat, Latency: 12, FLOPs: 1},
+	OpNeg:    {Name: "neg", Arity: 1, Needs: CapFloat, Latency: 1, FLOPs: 1},
+	OpAbs:    {Name: "abs", Arity: 1, Needs: CapFloat, Latency: 1, FLOPs: 1},
+	OpFMA:    {Name: "fma", Arity: 2, Needs: CapFloat, Latency: 5, FLOPs: 2, Reducible: true},
+	OpRecip:  {Name: "recip", Arity: 1, Needs: CapFloat, Latency: 10, FLOPs: 1},
+	OpIAdd:   {Name: "iadd", Arity: 2, Needs: CapFloat | CapInteger, Latency: 2, FLOPs: 0},
+	OpISub:   {Name: "isub", Arity: 2, Needs: CapFloat | CapInteger, Latency: 2, FLOPs: 0},
+	OpIMul:   {Name: "imul", Arity: 2, Needs: CapFloat | CapInteger, Latency: 4, FLOPs: 0},
+	OpAnd:    {Name: "and", Arity: 2, Needs: CapFloat | CapInteger, Latency: 1, FLOPs: 0},
+	OpOr:     {Name: "or", Arity: 2, Needs: CapFloat | CapInteger, Latency: 1, FLOPs: 0},
+	OpXor:    {Name: "xor", Arity: 2, Needs: CapFloat | CapInteger, Latency: 1, FLOPs: 0},
+	OpShl:    {Name: "shl", Arity: 2, Needs: CapFloat | CapInteger, Latency: 1, FLOPs: 0},
+	OpShr:    {Name: "shr", Arity: 2, Needs: CapFloat | CapInteger, Latency: 1, FLOPs: 0},
+	OpCmpLT:  {Name: "cmplt", Arity: 2, Needs: CapFloat | CapInteger, Latency: 2, FLOPs: 0},
+	OpCmpEQ:  {Name: "cmpeq", Arity: 2, Needs: CapFloat | CapInteger, Latency: 2, FLOPs: 0},
+	OpMax:    {Name: "max", Arity: 2, Needs: CapFloat | CapMinMax, Latency: 2, FLOPs: 1, Reducible: true},
+	OpMin:    {Name: "min", Arity: 2, Needs: CapFloat | CapMinMax, Latency: 2, FLOPs: 1, Reducible: true},
+	OpMaxAbs: {Name: "maxabs", Arity: 2, Needs: CapFloat | CapMinMax, Latency: 2, FLOPs: 1, Reducible: true},
+}
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, opCount)
+	for op := Op(0); op < opCount; op++ {
+		m[opTable[op].Name] = op
+	}
+	return m
+}()
+
+// Valid reports whether op is a defined opcode.
+func (op Op) Valid() bool { return op < opCount }
+
+// Info returns the static description of op. It panics on an undefined
+// opcode; use Valid first when decoding untrusted data.
+func (op Op) Info() OpInfo {
+	if !op.Valid() {
+		panic(fmt.Sprintf("arch: invalid opcode %d", op))
+	}
+	return opTable[op]
+}
+
+// String returns the assembler mnemonic of op.
+func (op Op) String() string {
+	if !op.Valid() {
+		return fmt.Sprintf("op?%d", uint8(op))
+	}
+	return opTable[op].Name
+}
+
+// OpByName looks an operation up by mnemonic.
+func OpByName(name string) (Op, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}
+
+// AllOps returns every defined opcode in encoding order.
+func AllOps() []Op {
+	ops := make([]Op, opCount)
+	for i := range ops {
+		ops[i] = Op(i)
+	}
+	return ops
+}

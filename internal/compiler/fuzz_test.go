@@ -1,0 +1,46 @@
+package compiler
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// FuzzParse feeds arbitrary text to the expression parser: it must
+// return an error or an AST, never panic, and every accepted input
+// must compile or fail cleanly.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"v = u",
+		"v = u@(1,0,0) + 2.5*f - abs(w)",
+		"v = max(u, min(w, 1e-3))",
+		"v = ((((u))))",
+		"v = -u * -3",
+		"v = u@(-1,-1,-1) / 6",
+		"v = 1 + ",
+		"v == u",
+		"@(1,2,3)",
+		"v = u@(999999,0,0)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	inv := arch.MustInventory(arch.Default())
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if st.Dst == "" || st.Expr == nil {
+			t.Fatalf("Parse(%q) returned empty statement without error", src)
+		}
+		// Anything parseable must either compile or error cleanly.
+		planes := map[string]int{st.Dst: 15}
+		for i, name := range varNames(st.Expr) {
+			if _, ok := planes[name]; !ok {
+				planes[name] = i % 15
+			}
+		}
+		_, _ = Compile(src, inv, Options{N: 4, Nz: 4, Planes: planes})
+	})
+}

@@ -1,0 +1,301 @@
+// Package compiler implements the future-work item from the paper's
+// conclusions: using the visual environment "as a back end to a
+// compiler, displaying the results of the compilation process". It
+// compiles a single stencil assignment over grid variables into a
+// pipeline diagram: shifted references become shift/delay-unit taps,
+// the expression DAG is mapped onto ALS function units honouring the
+// capability asymmetries, and the result is a Document the checker,
+// renderer and microcode generator accept like any hand-drawn diagram.
+//
+// Grammar:
+//
+//	stmt   := ident '=' expr
+//	expr   := term (('+'|'-') term)*
+//	term   := factor (('*'|'/') factor)*
+//	factor := NUMBER | ident shift? | '(' expr ')' | '-' factor
+//	         | ('abs'|'min'|'max') '(' expr (',' expr)? ')'
+//	shift  := '@' '(' int ',' int ',' int ')'
+package compiler
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Node is one expression AST node.
+type Node struct {
+	// Kind is one of "num", "var", "add", "sub", "mul", "div", "neg",
+	// "abs", "min", "max".
+	Kind string
+	Val  float64
+	Name string
+	// DX, DY, DZ are the grid shift of a "var" node.
+	DX, DY, DZ int
+	L, R       *Node
+}
+
+// Stmt is a parsed assignment.
+type Stmt struct {
+	Dst  string
+	Expr *Node
+}
+
+type lexer struct {
+	src []rune
+	pos int
+}
+
+func (lx *lexer) skip() {
+	for lx.pos < len(lx.src) && unicode.IsSpace(lx.src[lx.pos]) {
+		lx.pos++
+	}
+}
+
+func (lx *lexer) peek() rune {
+	lx.skip()
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) next() rune {
+	r := lx.peek()
+	if r != 0 {
+		lx.pos++
+	}
+	return r
+}
+
+func (lx *lexer) expect(r rune) error {
+	if got := lx.next(); got != r {
+		return fmt.Errorf("compiler: expected %q at position %d, got %q", r, lx.pos, got)
+	}
+	return nil
+}
+
+func (lx *lexer) ident() string {
+	lx.skip()
+	start := lx.pos
+	for lx.pos < len(lx.src) && (unicode.IsLetter(lx.src[lx.pos]) || unicode.IsDigit(lx.src[lx.pos]) || lx.src[lx.pos] == '_') {
+		lx.pos++
+	}
+	return string(lx.src[start:lx.pos])
+}
+
+func (lx *lexer) number() (float64, error) {
+	lx.skip()
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		r := lx.src[lx.pos]
+		if unicode.IsDigit(r) || r == '.' || r == 'e' || r == 'E' ||
+			((r == '+' || r == '-') && lx.pos > start && (lx.src[lx.pos-1] == 'e' || lx.src[lx.pos-1] == 'E')) {
+			lx.pos++
+			continue
+		}
+		break
+	}
+	return strconv.ParseFloat(string(lx.src[start:lx.pos]), 64)
+}
+
+func (lx *lexer) int() (int, error) {
+	lx.skip()
+	start := lx.pos
+	if lx.peek() == '-' || lx.peek() == '+' {
+		lx.pos++
+	}
+	for lx.pos < len(lx.src) && unicode.IsDigit(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	return strconv.Atoi(strings.TrimSpace(string(lx.src[start:lx.pos])))
+}
+
+// Parse parses a stencil assignment statement.
+func Parse(src string) (*Stmt, error) {
+	lx := &lexer{src: []rune(src)}
+	dst := lx.ident()
+	if dst == "" {
+		return nil, fmt.Errorf("compiler: statement must start with a destination variable")
+	}
+	if err := lx.expect('='); err != nil {
+		return nil, err
+	}
+	e, err := parseExpr(lx)
+	if err != nil {
+		return nil, err
+	}
+	lx.skip()
+	if lx.pos != len(lx.src) {
+		return nil, fmt.Errorf("compiler: trailing input %q", string(lx.src[lx.pos:]))
+	}
+	return &Stmt{Dst: dst, Expr: e}, nil
+}
+
+func parseExpr(lx *lexer) (*Node, error) {
+	l, err := parseTerm(lx)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch lx.peek() {
+		case '+':
+			lx.next()
+			r, err := parseTerm(lx)
+			if err != nil {
+				return nil, err
+			}
+			l = fold(&Node{Kind: "add", L: l, R: r})
+		case '-':
+			lx.next()
+			r, err := parseTerm(lx)
+			if err != nil {
+				return nil, err
+			}
+			l = fold(&Node{Kind: "sub", L: l, R: r})
+		default:
+			return l, nil
+		}
+	}
+}
+
+func parseTerm(lx *lexer) (*Node, error) {
+	l, err := parseFactor(lx)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch lx.peek() {
+		case '*':
+			lx.next()
+			r, err := parseFactor(lx)
+			if err != nil {
+				return nil, err
+			}
+			l = fold(&Node{Kind: "mul", L: l, R: r})
+		case '/':
+			lx.next()
+			r, err := parseFactor(lx)
+			if err != nil {
+				return nil, err
+			}
+			l = fold(&Node{Kind: "div", L: l, R: r})
+		default:
+			return l, nil
+		}
+	}
+}
+
+func parseFactor(lx *lexer) (*Node, error) {
+	switch r := lx.peek(); {
+	case r == '(':
+		lx.next()
+		e, err := parseExpr(lx)
+		if err != nil {
+			return nil, err
+		}
+		return e, lx.expect(')')
+	case r == '-':
+		lx.next()
+		f, err := parseFactor(lx)
+		if err != nil {
+			return nil, err
+		}
+		return fold(&Node{Kind: "neg", L: f}), nil
+	case unicode.IsDigit(r) || r == '.':
+		v, err := lx.number()
+		if err != nil {
+			return nil, fmt.Errorf("compiler: %v", err)
+		}
+		return &Node{Kind: "num", Val: v}, nil
+	case unicode.IsLetter(r) || r == '_':
+		name := lx.ident()
+		switch name {
+		case "abs", "min", "max":
+			if err := lx.expect('('); err != nil {
+				return nil, err
+			}
+			a, err := parseExpr(lx)
+			if err != nil {
+				return nil, err
+			}
+			n := &Node{Kind: name, L: a}
+			if name != "abs" {
+				if err := lx.expect(','); err != nil {
+					return nil, err
+				}
+				if n.R, err = parseExpr(lx); err != nil {
+					return nil, err
+				}
+			}
+			return n, lx.expect(')')
+		}
+		n := &Node{Kind: "var", Name: name}
+		if lx.peek() == '@' {
+			lx.next()
+			if err := lx.expect('('); err != nil {
+				return nil, err
+			}
+			var err error
+			if n.DX, err = lx.int(); err != nil {
+				return nil, fmt.Errorf("compiler: shift dx: %v", err)
+			}
+			if err := lx.expect(','); err != nil {
+				return nil, err
+			}
+			if n.DY, err = lx.int(); err != nil {
+				return nil, fmt.Errorf("compiler: shift dy: %v", err)
+			}
+			if err := lx.expect(','); err != nil {
+				return nil, err
+			}
+			if n.DZ, err = lx.int(); err != nil {
+				return nil, fmt.Errorf("compiler: shift dz: %v", err)
+			}
+			if err := lx.expect(')'); err != nil {
+				return nil, err
+			}
+		}
+		return n, nil
+	case r == 0:
+		return nil, fmt.Errorf("compiler: unexpected end of expression")
+	default:
+		return nil, fmt.Errorf("compiler: unexpected character %q", r)
+	}
+}
+
+// fold performs constant folding on a freshly built node.
+func fold(n *Node) *Node {
+	if n.L != nil && n.L.Kind == "num" && (n.R == nil || n.R.Kind == "num") {
+		switch n.Kind {
+		case "add":
+			return &Node{Kind: "num", Val: n.L.Val + n.R.Val}
+		case "sub":
+			return &Node{Kind: "num", Val: n.L.Val - n.R.Val}
+		case "mul":
+			return &Node{Kind: "num", Val: n.L.Val * n.R.Val}
+		case "div":
+			if n.R.Val != 0 {
+				return &Node{Kind: "num", Val: n.L.Val / n.R.Val}
+			}
+		case "neg":
+			return &Node{Kind: "num", Val: -n.L.Val}
+		}
+	}
+	return n
+}
+
+// key returns a structural hash string for CSE.
+func (n *Node) key() string {
+	switch n.Kind {
+	case "num":
+		return fmt.Sprintf("#%g", n.Val)
+	case "var":
+		return fmt.Sprintf("%s@%d,%d,%d", n.Name, n.DX, n.DY, n.DZ)
+	case "neg", "abs":
+		return n.Kind + "(" + n.L.key() + ")"
+	default:
+		return n.Kind + "(" + n.L.key() + "," + n.R.key() + ")"
+	}
+}

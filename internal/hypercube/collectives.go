@@ -1,0 +1,98 @@
+package hypercube
+
+import (
+	"fmt"
+	"math"
+)
+
+// Collective operations over the hyperspace routers, implemented with
+// the classic recursive-doubling schedules: every step pairs nodes one
+// hop apart, so a collective over 2^d nodes takes exactly d
+// single-hop message rounds. The multi-node Jacobi driver uses the
+// max-combine; the broadcast distributes host-prepared data (grids,
+// masks) without charging the host path.
+
+// Broadcast copies `count` words from plane/addr on the root node to
+// the same plane/addr on every node, along a binomial tree rooted at
+// `root`. Critical path: d rounds of one single-hop message.
+func (m *Machine) Broadcast(root, plane int, addr int64, count int) error {
+	if root < 0 || root >= m.P() {
+		return fmt.Errorf("hypercube: broadcast root %d outside %d nodes", root, m.P())
+	}
+	bytes := int64(count) * int64(m.Cfg.WordBytes)
+	for d := 0; d < m.Dim; d++ {
+		bit := 1 << uint(d)
+		// Nodes whose relative address fits in the low d bits already
+		// hold the data; each sends across dimension d.
+		for rel := 0; rel < bit; rel++ {
+			from := root ^ rel
+			to := from ^ bit
+			data, err := m.Nodes[from].ReadWords(plane, addr, count)
+			if err != nil {
+				return err
+			}
+			if err := m.Nodes[to].WriteWords(plane, addr, data); err != nil {
+				return err
+			}
+			m.CommCycles += m.SendCost(bytes, 1)
+		}
+		// The per-round sends happen concurrently: one message on the
+		// critical path per dimension.
+		m.MachineCycles += m.SendCost(bytes, 1)
+	}
+	return nil
+}
+
+// ReduceOp names an elementwise combining operator for AllReduce.
+type ReduceOp int
+
+// Combining operators.
+const (
+	ReduceSum ReduceOp = iota
+	ReduceMax
+	ReduceMin
+)
+
+func (op ReduceOp) apply(a, b float64) float64 {
+	switch op {
+	case ReduceSum:
+		return a + b
+	case ReduceMax:
+		return math.Max(a, b)
+	case ReduceMin:
+		return math.Min(a, b)
+	}
+	return math.NaN()
+}
+
+// AllReduce combines `count` words at plane/addr across all nodes with
+// op, leaving the result on every node (recursive doubling: d rounds
+// of pairwise single-hop exchange and local combine).
+func (m *Machine) AllReduce(plane int, addr int64, count int, op ReduceOp) error {
+	bytes := int64(count) * int64(m.Cfg.WordBytes)
+	for d := 0; d < m.Dim; d++ {
+		bit := 1 << uint(d)
+		// Snapshot before the round: exchanges are simultaneous.
+		snap := make([][]float64, m.P())
+		for n := 0; n < m.P(); n++ {
+			data, err := m.Nodes[n].ReadWords(plane, addr, count)
+			if err != nil {
+				return err
+			}
+			snap[n] = data
+		}
+		for n := 0; n < m.P(); n++ {
+			peer := n ^ bit
+			combined := make([]float64, count)
+			for i := 0; i < count; i++ {
+				combined[i] = op.apply(snap[n][i], snap[peer][i])
+			}
+			if err := m.Nodes[n].WriteWords(plane, addr, combined); err != nil {
+				return err
+			}
+			m.CommCycles += m.SendCost(bytes, 1)
+		}
+		m.MachineCycles += m.SendCost(bytes, 1)
+	}
+	return nil
+}

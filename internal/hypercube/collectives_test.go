@@ -1,0 +1,112 @@
+package hypercube
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBroadcastReachesEveryNode(t *testing.T) {
+	m, _ := New(smallCfg(), 3)
+	data := []float64{3.5, -2, 7, 0.25}
+	if err := m.Nodes[5].WriteWords(2, 100, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Broadcast(5, 2, 100, len(data)); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < m.P(); n++ {
+		got, err := m.Nodes[n].ReadWords(2, 100, len(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				t.Fatalf("node %d word %d = %g, want %g", n, i, got[i], data[i])
+			}
+		}
+	}
+	// Critical path: exactly dim single-hop messages.
+	want := int64(m.Dim) * m.SendCost(int64(len(data))*8, 1)
+	if m.MachineCycles != want {
+		t.Errorf("broadcast critical path %d cycles, want %d", m.MachineCycles, want)
+	}
+	// Aggregate traffic: P-1 messages.
+	wantComm := int64(m.P()-1) * m.SendCost(int64(len(data))*8, 1)
+	if m.CommCycles != wantComm {
+		t.Errorf("broadcast traffic %d, want %d", m.CommCycles, wantComm)
+	}
+	if err := m.Broadcast(99, 0, 0, 1); err == nil {
+		t.Error("bad root accepted")
+	}
+}
+
+func TestAllReduceOps(t *testing.T) {
+	for _, tc := range []struct {
+		op   ReduceOp
+		want float64
+	}{
+		{ReduceSum, 0 + 1 + 2 + 3},
+		{ReduceMax, 3},
+		{ReduceMin, 0},
+	} {
+		m, _ := New(smallCfg(), 2)
+		for n := 0; n < m.P(); n++ {
+			if err := m.Nodes[n].WriteWords(0, 0, []float64{float64(n)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.AllReduce(0, 0, 1, tc.op); err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < m.P(); n++ {
+			got, _ := m.Nodes[n].ReadWords(0, 0, 1)
+			if got[0] != tc.want {
+				t.Errorf("op %d: node %d = %g, want %g", tc.op, n, got[0], tc.want)
+			}
+		}
+	}
+	if !math.IsNaN(ReduceOp(99).apply(1, 2)) {
+		t.Error("unknown op should yield NaN")
+	}
+}
+
+// Property: AllReduce(sum) over random per-node values equals the
+// plain sum on every node, regardless of dimension.
+func TestAllReduceProperty(t *testing.T) {
+	fn := func(vals [8]float64, dimSeed uint8) bool {
+		dim := int(dimSeed % 4)
+		m, err := New(smallCfg(), dim)
+		if err != nil {
+			return false
+		}
+		want := 0.0
+		for n := 0; n < m.P(); n++ {
+			v := vals[n%8]
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				// Clamp extremes: pairwise (recursive-doubling) and
+				// sequential summation legitimately differ near
+				// overflow; the property targets the schedule, not
+				// float edge cases.
+				v = float64(n)
+			}
+			if err := m.Nodes[n].WriteWords(1, 5, []float64{v}); err != nil {
+				return false
+			}
+			want += v
+		}
+		if err := m.AllReduce(1, 5, 1, ReduceSum); err != nil {
+			return false
+		}
+		for n := 0; n < m.P(); n++ {
+			got, _ := m.Nodes[n].ReadWords(1, 5, 1)
+			if math.Abs(got[0]-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,326 @@
+// Package hypercube models the multi-node NSC: 2^d nodes in a
+// hypercube configuration connected by hyperspace routers (§1, §2).
+// Messages follow e-cube (dimension-order) routes; the cost model is
+// per-hop latency plus bandwidth-limited transfer, from the arch
+// configuration.
+//
+// The package also provides the multi-node point-Jacobi driver used by
+// the scaling experiment (P2): 1-D domain decomposition along k with
+// ghost-plane exchange between ring neighbours (a Gray-code ring, so
+// every exchange is a single hop) and a log₂P convergence combine.
+package hypercube
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/arch"
+	"repro/internal/codegen"
+	"repro/internal/jacobi"
+	"repro/internal/microcode"
+	"repro/internal/sim"
+)
+
+// Machine is a hypercube of simulated NSC nodes.
+type Machine struct {
+	Cfg   arch.Config
+	Dim   int
+	Nodes []*sim.Node
+
+	// CommCycles accumulates router time; MachineCycles accumulates the
+	// critical-path time (max node compute per step + communication).
+	CommCycles    int64
+	MachineCycles int64
+
+	// StopAfter, when positive, runs SolveJacobi for exactly that many
+	// sweeps regardless of the residual — for performance measurements
+	// where convergence is not the point.
+	StopAfter int
+}
+
+// New builds a hypercube of 2^dim nodes.
+func New(cfg arch.Config, dim int) (*Machine, error) {
+	if dim < 0 || dim > 10 {
+		return nil, fmt.Errorf("hypercube: dimension %d out of range", dim)
+	}
+	m := &Machine{Cfg: cfg, Dim: dim}
+	for i := 0; i < 1<<uint(dim); i++ {
+		n, err := sim.NewNode(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m.Nodes = append(m.Nodes, n)
+	}
+	return m, nil
+}
+
+// P returns the node count.
+func (m *Machine) P() int { return len(m.Nodes) }
+
+// Hops returns the e-cube path length between two nodes.
+func (m *Machine) Hops(from, to int) int { return bits.OnesCount(uint(from ^ to)) }
+
+// Route returns the e-cube path from one node to another, resolving
+// address bits lowest-dimension first.
+func (m *Machine) Route(from, to int) ([]int, error) {
+	if from < 0 || from >= m.P() || to < 0 || to >= m.P() {
+		return nil, fmt.Errorf("hypercube: route %d->%d outside %d nodes", from, to, m.P())
+	}
+	path := []int{from}
+	cur := from
+	for d := 0; d < m.Dim; d++ {
+		bit := 1 << uint(d)
+		if cur&bit != to&bit {
+			cur ^= bit
+			path = append(path, cur)
+		}
+	}
+	return path, nil
+}
+
+// SendCost models one message: per-hop router latency plus
+// bandwidth-limited payload time.
+func (m *Machine) SendCost(bytes int64, hops int) int64 {
+	if hops == 0 {
+		return 0
+	}
+	bw := int64(m.Cfg.RouterBytesPerCycle)
+	return int64(hops*m.Cfg.RouterHopCycles) + (bytes+bw-1)/bw
+}
+
+// GrayRank returns the Gray-code of r: embedding a ring into the
+// hypercube so that ring neighbours are always one hop apart.
+func GrayRank(r int) int { return r ^ (r >> 1) }
+
+// CopyWords moves count words from one node's plane to another node's
+// plane through the router, charging the communication cost.
+func (m *Machine) CopyWords(fromNode, fromPlane int, fromAddr int64,
+	toNode, toPlane int, toAddr int64, count int) error {
+	data, err := m.Nodes[fromNode].ReadWords(fromPlane, fromAddr, count)
+	if err != nil {
+		return err
+	}
+	if err := m.Nodes[toNode].WriteWords(toPlane, toAddr, data); err != nil {
+		return err
+	}
+	m.CommCycles += m.SendCost(int64(count)*int64(m.Cfg.WordBytes), m.Hops(fromNode, toNode))
+	return nil
+}
+
+// JacobiResult reports a multi-node solve.
+type JacobiResult struct {
+	U          []float64 // assembled global field
+	Iterations int
+	Converged  bool
+	Residual   float64
+	// Cycles is the machine critical path: per-iteration max node time
+	// plus exchange and combine communication.
+	Cycles int64
+	// TotalFLOPs across all nodes.
+	TotalFLOPs int64
+	GFLOPS     float64
+}
+
+// SolveJacobi runs the paper's example problem on the hypercube with a
+// 1-D decomposition along k. The global grid is N×N×Nz; the Nz−2
+// interior planes must divide evenly by the node count. Each node
+// programs its slab through the same visual-environment pipelines as
+// the single-node solver (ghost planes enter as masked-off boundary),
+// sweeps once per iteration, exchanges ghost faces with its ring
+// neighbours, and participates in a log₂P max-combine of the residual
+// registers.
+func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
+	p := m.P()
+	inner := global.Nz - 2
+	if inner <= 0 || inner%p != 0 {
+		return nil, fmt.Errorf("hypercube: %d interior planes do not divide across %d nodes", inner, p)
+	}
+	slab := inner / p
+	n := global.N
+	nn := n * n
+
+	// Build per-node slab problems: planes [lo-1, lo+slab] of the
+	// global grid (one ghost/boundary plane each side).
+	locals := make([]*jacobi.Problem, p)
+	for r := 0; r < p; r++ {
+		lo := 1 + r*slab
+		lp := &jacobi.Problem{
+			N: n, Nz: slab + 2, H: global.H, Tol: global.Tol, MaxIter: global.MaxIter,
+			F:    make([]float64, nn*(slab+2)),
+			U0:   make([]float64, nn*(slab+2)),
+			Mask: make([]float64, nn*(slab+2)),
+		}
+		for kz := 0; kz < slab+2; kz++ {
+			gk := lo - 1 + kz
+			copy(lp.F[kz*nn:(kz+1)*nn], global.F[gk*nn:(gk+1)*nn])
+			copy(lp.U0[kz*nn:(kz+1)*nn], global.U0[gk*nn:(gk+1)*nn])
+			if kz > 0 && kz < slab+1 {
+				// Interior planes keep the global x/y mask.
+				copy(lp.Mask[kz*nn:(kz+1)*nn], global.Mask[gk*nn:(gk+1)*nn])
+			}
+		}
+		if err := lp.Validate(m.Cfg); err != nil {
+			return nil, err
+		}
+		locals[r] = lp
+	}
+
+	// Generate each node's sweep instructions (u→v and v→u) once.
+	gen := codegen.New(arch.MustInventory(m.Cfg))
+	fwd := make([]*microcode.Instr, p)
+	bwd := make([]*microcode.Instr, p)
+	for r := 0; r < p; r++ {
+		doc, _, err := locals[r].BuildDocument(m.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		if fwd[r], _, err = gen.Pipeline(doc, doc.Pipes[0]); err != nil {
+			return nil, err
+		}
+		if bwd[r], _, err = gen.Pipeline(doc, doc.Pipes[1]); err != nil {
+			return nil, err
+		}
+		if err := locals[r].Load(m.Nodes[node(r)]); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &JacobiResult{}
+	redFU := arch.FUID(11) // T4 slot 2 under the default triplet layout
+	for it := 0; it < global.MaxIter; it++ {
+		// Sweep on every node; critical path is the slowest node.
+		var maxNode int64
+		curPlane := jacobi.PlaneV
+		for r := 0; r < p; r++ {
+			nd := m.Nodes[node(r)]
+			before := nd.Stats.Cycles
+			in := fwd[r]
+			if it%2 == 1 {
+				in = bwd[r]
+			}
+			if err := nd.Exec(in); err != nil {
+				return nil, fmt.Errorf("hypercube: node %d sweep %d: %w", r, it, err)
+			}
+			if d := nd.Stats.Cycles - before; d > maxNode {
+				maxNode = d
+			}
+		}
+		if it%2 == 1 {
+			curPlane = jacobi.PlaneU
+		}
+		res.Iterations++
+		m.MachineCycles += maxNode
+
+		// Residual max-combine: log₂P exchange of one word.
+		worst := 0.0
+		for r := 0; r < p; r++ {
+			if v := m.Nodes[node(r)].RedReg[redFU]; v > worst {
+				worst = v
+			}
+		}
+		if p > 1 {
+			combine := int64(0)
+			for d := 0; d < m.Dim; d++ {
+				combine += m.SendCost(int64(m.Cfg.WordBytes), 1)
+			}
+			m.CommCycles += combine
+			m.MachineCycles += combine
+		}
+		res.Residual = worst
+		if m.StopAfter > 0 {
+			if res.Iterations >= m.StopAfter {
+				res.Converged = worst < global.Tol
+				break
+			}
+		} else if worst < global.Tol {
+			res.Converged = true
+			break
+		}
+
+		// Ghost exchange on the current iterate plane: node r sends its
+		// last owned plane down-ring and its first owned plane up-ring.
+		// All pairs exchange concurrently, so the machine's critical
+		// path grows by one node's traffic (two face messages), while
+		// CommCycles keeps the aggregate router load.
+		for r := 0; r < p; r++ {
+			if r+1 < p {
+				// r's plane kz=slab (global lo+slab-1) → (r+1)'s ghost kz=0.
+				if err := m.CopyWords(node(r), curPlane, int64(slab*nn),
+					node(r+1), curPlane, 0, nn); err != nil {
+					return nil, err
+				}
+				// (r+1)'s plane kz=1 → r's ghost kz=slab+1.
+				if err := m.CopyWords(node(r+1), curPlane, int64(nn),
+					node(r), curPlane, int64((slab+1)*nn), nn); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if p > 1 {
+			m.MachineCycles += 2 * m.SendCost(int64(nn)*int64(m.Cfg.WordBytes), 1)
+		}
+	}
+
+	// Assemble the global field from the owned planes.
+	finalPlane := jacobi.PlaneU
+	if res.Iterations%2 == 1 {
+		finalPlane = jacobi.PlaneV
+	}
+	res.U = make([]float64, len(global.U0))
+	// Global boundary planes keep their initial values.
+	copy(res.U[:nn], global.U0[:nn])
+	copy(res.U[(global.Nz-1)*nn:], global.U0[(global.Nz-1)*nn:])
+	for r := 0; r < p; r++ {
+		lo := 1 + r*slab
+		data, err := m.Nodes[node(r)].ReadWords(finalPlane, int64(nn), slab*nn)
+		if err != nil {
+			return nil, err
+		}
+		copy(res.U[lo*nn:(lo+slab)*nn], data)
+	}
+
+	for _, nd := range m.Nodes {
+		res.TotalFLOPs += nd.Stats.FLOPs
+	}
+	res.Cycles = m.MachineCycles
+	if res.Cycles > 0 {
+		res.GFLOPS = float64(res.TotalFLOPs) / (float64(res.Cycles) / m.Cfg.ClockHz) / 1e9
+	}
+	if m.StopAfter == 0 && !res.Converged && res.Iterations >= global.MaxIter {
+		return res, fmt.Errorf("hypercube: no convergence in %d iterations (residual %g)", res.Iterations, res.Residual)
+	}
+	return res, nil
+}
+
+// node maps ring rank r to its hypercube address via the Gray code, so
+// ring neighbours are physical neighbours.
+func node(r int) int { return GrayRank(r) }
+
+// PeakGFLOPS returns the machine's aggregate peak rate.
+func (m *Machine) PeakGFLOPS() float64 {
+	return float64(m.P()) * m.Cfg.PeakFLOPS() / 1e9
+}
+
+// TotalMemoryBytes returns the machine's aggregate memory.
+func (m *Machine) TotalMemoryBytes() int64 {
+	return int64(m.P()) * m.Cfg.NodeMemoryBytes()
+}
+
+// Efficiency returns achieved/peak for a result.
+func (r *JacobiResult) Efficiency(m *Machine) float64 {
+	peak := m.PeakGFLOPS()
+	if peak == 0 {
+		return 0
+	}
+	return r.GFLOPS / peak
+}
+
+// ResidualNorm is a helper for reporting: max-abs over a field.
+func ResidualNorm(u []float64) float64 {
+	worst := 0.0
+	for _, v := range u {
+		worst = math.Max(worst, math.Abs(v))
+	}
+	return worst
+}

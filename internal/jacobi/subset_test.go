@@ -1,0 +1,98 @@
+package jacobi
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/checker"
+)
+
+func TestSubsetScriptBuildsClean(t *testing.T) {
+	cfg := arch.Subset()
+	p := NewModelProblem(6, 1e-3, 100)
+	doc, ed, err := p.SubsetBuild(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Pipes) != 3 {
+		t.Fatalf("pipes = %d, want 3 (stencil/blend/broadcast)", len(doc.Pipes))
+	}
+	if es := checker.Errors(ed.Check()); len(es) > 0 {
+		t.Fatalf("subset document has errors: %v", es)
+	}
+}
+
+func TestSubsetValidate(t *testing.T) {
+	p := NewModelProblem(6, 1e-3, 10)
+	if err := p.SubsetValidate(arch.Subset()); err != nil {
+		t.Error(err)
+	}
+	small := arch.Subset()
+	small.Singlets = 4
+	small.TotalFUs = 4
+	if err := p.SubsetValidate(small); err == nil {
+		t.Error("4-singlet machine accepted")
+	}
+}
+
+// TestSubsetMatchesReference: the three-phase subset program computes
+// the same iterates as its host mirror, bit for bit, with the L1
+// stopping rule.
+func TestSubsetMatchesReference(t *testing.T) {
+	cfg := arch.Subset()
+	p := NewModelProblem(6, 1e-3, 300)
+	ref := p.SubsetReference()
+	if !ref.Converged {
+		t.Fatal("subset reference did not converge")
+	}
+	got, err := p.SubsetRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Converged {
+		t.Fatalf("subset NSC run did not converge (res %g after %d sweeps)", got.Residual, got.Iterations)
+	}
+	if got.Iterations != ref.Iters {
+		t.Errorf("iterations = %d, reference %d", got.Iterations, ref.Iters)
+	}
+	for g := range ref.U {
+		if got.U[g] != ref.U[g] {
+			t.Fatalf("u[%d] = %g, reference %g", g, got.U[g], ref.U[g])
+		}
+	}
+	if got.Residual != ref.Residuals[len(ref.Residuals)-1] {
+		t.Errorf("residual = %g, reference %g", got.Residual, ref.Residuals[len(ref.Residuals)-1])
+	}
+}
+
+// TestSubsetSlowerThanFullModel is the A5 trade-off: the subset model
+// is easier to reason about but pays for it — more instructions per
+// sweep, more memory traffic (eight copies), lower MFLOPS.
+func TestSubsetSlowerThanFullModel(t *testing.T) {
+	p := NewModelProblem(8, 1e-4, 400)
+
+	full, err := p.Run(arch.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := p.SubsetRun(arch.Subset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different stopping metrics mean different iteration counts;
+	// compare per-sweep cost instead.
+	fullPerSweep := float64(full.Stats.Cycles) / float64(full.Iterations)
+	subPerSweep := float64(sub.Stats.Cycles) / float64(sub.Iterations)
+	if subPerSweep <= fullPerSweep {
+		t.Errorf("subset per-sweep cycles %.0f not worse than full model %.0f", subPerSweep, fullPerSweep)
+	}
+	if sub.Stats.Instructions <= full.Stats.Instructions && sub.Iterations >= full.Iterations {
+		t.Error("subset model should need more instructions per sweep")
+	}
+	// And it streams far more elements (the eight copies).
+	subElems := float64(sub.Stats.Elements) / float64(sub.Iterations)
+	fullElems := float64(full.Stats.Elements) / float64(full.Iterations)
+	if subElems <= fullElems {
+		t.Errorf("subset streams %.0f elements/sweep, full %.0f — copies missing?", subElems, fullElems)
+	}
+}

@@ -1,0 +1,419 @@
+package microcode
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/arch"
+)
+
+// Assemble parses the textual microassembler dialect that Disassemble
+// emits, turning "reams of textual microassembler code" (§6) back into
+// instruction words. The NSC never had an assembly language; this one
+// exists as the hand-coding baseline the visual environment is
+// measured against.
+//
+// Accepted statements (one per line, '#' comments):
+//
+//	route <sink> <- <source>          e.g. route FU3.a <- M0.rd
+//	fu<N> <op> a=<in> b=<in> [reduce(init=const<K>)]
+//	const<K> = <float>
+//	mem<P>  read|write addr=<A> stride=<S> count=<C> [skip=<K>] [start=<T>]
+//	cache<P> read|write buf=<B> addr=<A> stride=<S> count=<C> [skip=<K>] [start=<T>] [swap]
+//	sdu<U>  taps=[d0 d1 ...]
+//	seq     next=<N> branch=<B> cond=<0..3> flag=<F> [irq] [cmp(fu<N> <op> const<K> -> flag<F>)]
+//
+// Operand syntax: "-" (none), "sw" (switch), "const<K>", "fb"
+// (feedback); any may carry "+z<D>" for a register-file delay.
+func (f *Format) Assemble(r io.Reader) (*Instr, error) {
+	in := f.NewInstr()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := f.asmLine(in, line); err != nil {
+			return nil, fmt.Errorf("microcode: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+func (f *Format) asmLine(in *Instr, line string) error {
+	fields := strings.Fields(line)
+	head := fields[0]
+	switch {
+	case head == "route":
+		// route <sink> <- <source>
+		if len(fields) != 4 || fields[2] != "<-" {
+			return fmt.Errorf("route syntax: route <sink> <- <source>")
+		}
+		snk, err := f.parseSink(fields[1])
+		if err != nil {
+			return err
+		}
+		src, err := f.parseSource(fields[3])
+		if err != nil {
+			return err
+		}
+		in.Route(snk, src)
+		return nil
+
+	case strings.HasPrefix(head, "fu"):
+		n, err := strconv.Atoi(head[2:])
+		if err != nil || n < 0 || n >= f.Cfg.TotalFUs {
+			return fmt.Errorf("bad unit %q", head)
+		}
+		if len(fields) < 2 {
+			return fmt.Errorf("fu statement needs an op")
+		}
+		op, ok := arch.OpByName(fields[1])
+		if !ok {
+			return fmt.Errorf("unknown op %q", fields[1])
+		}
+		in.SetFUOp(arch.FUID(n), op)
+		for _, tok := range fields[2:] {
+			switch {
+			case strings.HasPrefix(tok, "a="):
+				if err := f.asmInput(in, arch.FUID(n), 0, tok[2:]); err != nil {
+					return err
+				}
+			case strings.HasPrefix(tok, "b="):
+				if err := f.asmInput(in, arch.FUID(n), 1, tok[2:]); err != nil {
+					return err
+				}
+			case strings.HasPrefix(tok, "reduce(init=const") && strings.HasSuffix(tok, ")"):
+				k, err := strconv.Atoi(tok[len("reduce(init=const") : len(tok)-1])
+				if err != nil || k < 0 || k >= ConstPoolSize {
+					return fmt.Errorf("bad reduce init %q", tok)
+				}
+				in.SetFUReduce(arch.FUID(n), true, k)
+			default:
+				return fmt.Errorf("unknown fu token %q", tok)
+			}
+		}
+		return nil
+
+	case strings.HasPrefix(head, "const"):
+		// const<K> = <float>
+		k, err := strconv.Atoi(head[5:])
+		if err != nil || k < 0 || k >= ConstPoolSize {
+			return fmt.Errorf("bad constant slot %q", head)
+		}
+		if len(fields) != 3 || fields[1] != "=" {
+			return fmt.Errorf("const syntax: const<K> = <value>")
+		}
+		v, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return err
+		}
+		in.SetConst(k, v)
+		return nil
+
+	case strings.HasPrefix(head, "mem"):
+		p, err := strconv.Atoi(head[3:])
+		if err != nil || p < 0 || p >= f.Cfg.MemPlanes {
+			return fmt.Errorf("bad plane %q", head)
+		}
+		d := MemDMA{Enable: true}
+		kv, err := asmKV(fields[1:], &d.Write)
+		if err != nil {
+			return err
+		}
+		d.Addr = kv.i64("addr")
+		d.Stride = kv.i64("stride")
+		d.Count = kv.i64("count")
+		d.Skip = kv.i64("skip")
+		d.Start = int(kv.i64("start"))
+		in.SetMemDMA(p, d)
+		return nil
+
+	case strings.HasPrefix(head, "cache"):
+		p, err := strconv.Atoi(head[5:])
+		if err != nil || p < 0 || p >= f.Cfg.CachePlanes {
+			return fmt.Errorf("bad cache %q", head)
+		}
+		d := CacheDMA{Enable: true}
+		kv, err := asmKV(fields[1:], &d.Write)
+		if err != nil {
+			return err
+		}
+		d.Buf = int(kv.i64("buf"))
+		d.Addr = kv.i64("addr")
+		d.Stride = kv.i64("stride")
+		d.Count = kv.i64("count")
+		d.Skip = kv.i64("skip")
+		d.Start = int(kv.i64("start"))
+		d.Swap = kv.flags["swap"] || kv.vals["swap"] == "true"
+		in.SetCacheDMA(p, d)
+		return nil
+
+	case strings.HasPrefix(head, "sdu"):
+		u, err := strconv.Atoi(head[3:])
+		if err != nil || u < 0 || u >= f.Cfg.ShiftDelayUnits {
+			return fmt.Errorf("bad SDU %q", head)
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(line, head))
+		if !strings.HasPrefix(rest, "taps=[") || !strings.HasSuffix(rest, "]") {
+			return fmt.Errorf("sdu syntax: sdu<U> taps=[d0 d1 ...]")
+		}
+		var taps []int
+		for _, tok := range strings.Fields(rest[len("taps=[") : len(rest)-1]) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return fmt.Errorf("bad tap %q", tok)
+			}
+			taps = append(taps, v)
+		}
+		in.SetSDU(u, true, taps)
+		return nil
+
+	case head == "seq":
+		s := in.SeqOf()
+		rest := fields[1:]
+		for i := 0; i < len(rest); i++ {
+			tok := rest[i]
+			switch {
+			case strings.HasPrefix(tok, "next="):
+				s.Next = asmInt(tok[5:])
+			case strings.HasPrefix(tok, "branch="):
+				s.Branch = asmInt(tok[7:])
+			case strings.HasPrefix(tok, "cond="):
+				s.Cond = uint64(asmInt(tok[5:]))
+			case strings.HasPrefix(tok, "flag="):
+				s.Flag = asmInt(tok[5:])
+			case tok == "irq" || strings.HasPrefix(tok, "irq=true"):
+				s.IRQ = true
+			case tok == "trap":
+				s.Trap = true
+			case strings.HasPrefix(tok, "ldctr(") && strings.HasSuffix(tok, ")"):
+				var c int
+				var v int64
+				if _, err := fmt.Sscanf(tok, "ldctr(%d=%d)", &c, &v); err != nil {
+					return fmt.Errorf("bad ldctr clause %q", tok)
+				}
+				s.Ctr, s.CtrLoad, s.CtrValue = c, true, v
+			case strings.HasPrefix(tok, "loopctr="):
+				s.Ctr = asmInt(tok[8:])
+			case strings.HasPrefix(tok, "irq="):
+				// irq=false: leave unset.
+			case strings.HasPrefix(tok, "cmp(fu"):
+				// cmp(fu<N> <op> const<K> -> flag<F>) across 5 tokens.
+				if i+4 >= len(rest) {
+					return fmt.Errorf("truncated cmp clause")
+				}
+				n, err := strconv.Atoi(strings.TrimPrefix(tok, "cmp(fu"))
+				if err != nil {
+					return fmt.Errorf("bad cmp unit %q", tok)
+				}
+				s.CmpEnable = true
+				s.CmpFU = arch.FUID(n)
+				switch rest[i+1] {
+				case "<":
+					s.CmpOp = CmpLT
+				case "<=":
+					s.CmpOp = CmpLE
+				case ">":
+					s.CmpOp = CmpGT
+				case ">=":
+					s.CmpOp = CmpGE
+				default:
+					return fmt.Errorf("bad cmp operator %q", rest[i+1])
+				}
+				k, err := strconv.Atoi(strings.TrimPrefix(rest[i+2], "const"))
+				if err != nil {
+					return fmt.Errorf("bad cmp constant %q", rest[i+2])
+				}
+				s.CmpConst = k
+				if rest[i+3] != "->" {
+					return fmt.Errorf("cmp syntax: cmp(fuN < constK -> flagF)")
+				}
+				fl := strings.TrimSuffix(strings.TrimPrefix(rest[i+4], "flag"), ")")
+				s.CmpFlag = asmInt(fl)
+				i += 4
+			default:
+				return fmt.Errorf("unknown seq token %q", tok)
+			}
+		}
+		in.SetSeq(s)
+		return nil
+	}
+	return fmt.Errorf("unknown statement %q", head)
+}
+
+// asmInput parses an operand descriptor: "-", "sw", "const<K>", "fb",
+// optionally suffixed "+z<D>".
+func (f *Format) asmInput(in *Instr, fu arch.FUID, side int, tok string) error {
+	delay := 0
+	if i := strings.Index(tok, "+z"); i >= 0 {
+		d, err := strconv.Atoi(tok[i+2:])
+		if err != nil {
+			return fmt.Errorf("bad delay in %q", tok)
+		}
+		delay = d
+		tok = tok[:i]
+	}
+	switch {
+	case tok == "-":
+		in.SetFUInput(fu, side, InNone, 0, delay)
+	case tok == "sw":
+		in.SetFUInput(fu, side, InSwitch, 0, delay)
+	case tok == "fb":
+		in.SetFUInput(fu, side, InFeedback, 0, delay)
+	case strings.HasPrefix(tok, "const"):
+		k, err := strconv.Atoi(tok[5:])
+		if err != nil || k < 0 || k >= ConstPoolSize {
+			return fmt.Errorf("bad constant operand %q", tok)
+		}
+		in.SetFUInput(fu, side, InConst, k, delay)
+	default:
+		return fmt.Errorf("bad operand %q", tok)
+	}
+	return nil
+}
+
+// parseSource resolves names like "M3.rd", "C1.rd", "SDU0.t2",
+// "FU7.out" to switch source ports.
+func (f *Format) parseSource(name string) (arch.SourceID, error) {
+	c := f.Cfg
+	var n, t int
+	switch {
+	case scan1(name, "M%d.rd", &n) && n >= 0 && n < c.MemPlanes:
+		return c.SrcMemRead(n), nil
+	case scan1(name, "C%d.rd", &n) && n >= 0 && n < c.CachePlanes:
+		return c.SrcCacheRead(n), nil
+	case scan2(name, "SDU%d.t%d", &n, &t) && n >= 0 && n < c.ShiftDelayUnits && t >= 0 && t < c.SDUTaps:
+		return c.SrcSDUTap(n, t), nil
+	case scan1(name, "FU%d.out", &n) && n >= 0 && n < c.TotalFUs:
+		return c.SrcFUOut(arch.FUID(n)), nil
+	}
+	return arch.InvalidSource, fmt.Errorf("unknown source port %q", name)
+}
+
+// parseSink resolves names like "M3.wr", "C1.wr", "SDU0.in", "FU7.a".
+func (f *Format) parseSink(name string) (arch.SinkID, error) {
+	c := f.Cfg
+	var n int
+	switch {
+	case scan1(name, "M%d.wr", &n) && n >= 0 && n < c.MemPlanes:
+		return c.SnkMemWrite(n), nil
+	case scan1(name, "C%d.wr", &n) && n >= 0 && n < c.CachePlanes:
+		return c.SnkCacheWrite(n), nil
+	case scan1(name, "SDU%d.in", &n) && n >= 0 && n < c.ShiftDelayUnits:
+		return c.SnkSDUIn(n), nil
+	case scan1(name, "FU%d.a", &n) && n >= 0 && n < c.TotalFUs:
+		return c.SnkFUIn(arch.FUID(n), 0), nil
+	case scan1(name, "FU%d.b", &n) && n >= 0 && n < c.TotalFUs:
+		return c.SnkFUIn(arch.FUID(n), 1), nil
+	}
+	return arch.InvalidSink, fmt.Errorf("unknown sink port %q", name)
+}
+
+// scan1/scan2 are strict Sscanf wrappers: the parse must reproduce the
+// whole input, rejecting trailing garbage.
+func scan1(s, format string, a *int) bool {
+	if n, err := fmt.Sscanf(s, format, a); n == 1 && err == nil {
+		return fmt.Sprintf(format, *a) == s
+	}
+	return false
+}
+
+func scan2(s, format string, a, b *int) bool {
+	if n, err := fmt.Sscanf(s, format, a, b); n == 2 && err == nil {
+		return fmt.Sprintf(format, *a, *b) == s
+	}
+	return false
+}
+
+// AssembleProgram parses a multi-instruction listing using the
+// "--- instr N ---" separators Disassemble emits.
+func (f *Format) AssembleProgram(r io.Reader) (*Program, error) {
+	prog := NewProgram(f)
+	var cur []string
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		in, err := f.Assemble(strings.NewReader(strings.Join(cur, "\n")))
+		if err != nil {
+			return err
+		}
+		prog.Append(in)
+		cur = nil
+		return nil
+	}
+	sc := bufio.NewScanner(r)
+	started := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "--- instr") {
+			if started {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			}
+			started = true
+			cur = []string{}
+			continue
+		}
+		if started && line != "" {
+			cur = append(cur, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if prog.Len() == 0 {
+		return nil, fmt.Errorf("microcode: no instructions in listing")
+	}
+	return prog, nil
+}
+
+type asmKVMap struct {
+	vals  map[string]string
+	flags map[string]bool
+}
+
+func asmKV(fields []string, write *bool) (asmKVMap, error) {
+	kv := asmKVMap{vals: map[string]string{}, flags: map[string]bool{}}
+	for _, tok := range fields {
+		switch tok {
+		case "read":
+			*write = false
+		case "write":
+			*write = true
+		default:
+			if i := strings.IndexByte(tok, '='); i > 0 {
+				kv.vals[tok[:i]] = tok[i+1:]
+			} else {
+				kv.flags[tok] = true
+			}
+		}
+	}
+	return kv, nil
+}
+
+func (kv asmKVMap) i64(name string) int64 {
+	v, err := strconv.ParseInt(kv.vals[name], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func asmInt(s string) int {
+	v, _ := strconv.Atoi(s)
+	return v
+}

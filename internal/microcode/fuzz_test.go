@@ -1,0 +1,78 @@
+package microcode
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// FuzzAssemble feeds arbitrary listings to the microassembler: never
+// panic, and anything accepted must disassemble and reassemble to the
+// same bits (the dialect is closed).
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"route FU0.a <- M1.rd\nfu0 mov a=sw b=-\n",
+		"const3 = 2.5\nfu1 add a=const3 b=fb reduce(init=const3)\n",
+		"mem0 read addr=0 stride=1 count=8 skip=0 start=0\n",
+		"cache5 write buf=1 addr=2 stride=1 count=4 swap\n",
+		"sdu0 taps=[1 2 3]\nseq next=0 branch=0 cond=3 flag=0 irq trap\n",
+		"seq cmp(fu1 < const0 -> flag1)\n",
+		"# only a comment\n",
+		"fu99 add\nmem99 read\nroute X <- Y\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	fmt := MustFormat(arch.Default())
+	f.Fuzz(func(t *testing.T, src string) {
+		in, err := fmt.Assemble(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// Accepted input: Disassemble → Assemble must be a fixpoint.
+		txt := in.Disassemble()
+		back, err := fmt.Assemble(strings.NewReader(txt))
+		if err != nil {
+			t.Fatalf("accepted %q but own disassembly rejected: %v\n%s", src, err, txt)
+		}
+		for lane := range in.W {
+			if in.W[lane] != back.W[lane] {
+				t.Fatalf("lane %d differs after round trip of %q", lane, src)
+			}
+		}
+	})
+}
+
+// FuzzReadProgram feeds arbitrary bytes to the binary loader: errors,
+// never panics, and every accepted program round-trips.
+func FuzzReadProgram(f *testing.F) {
+	fmt := MustFormat(arch.Default())
+	good := NewProgram(fmt)
+	in := fmt.NewInstr()
+	in.SetFUOp(0, arch.OpAdd)
+	in.SetSeq(Seq{Cond: CondHalt})
+	good.Append(in)
+	var buf bytes.Buffer
+	if _, err := good.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("NSCM garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadProgram(bytes.NewReader(data), fmt)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, err := p.WriteTo(&out); err != nil {
+			t.Fatalf("accepted program does not serialize: %v", err)
+		}
+		back, err := ReadProgram(&out, fmt)
+		if err != nil || back.Len() != p.Len() {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

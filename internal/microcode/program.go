@@ -1,0 +1,153 @@
+package microcode
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+)
+
+// Program is a sequence of microcode instructions plus the format they
+// were assembled for. Instruction addresses are indices into Instrs;
+// the sequencer's Next/Branch fields refer to these addresses.
+type Program struct {
+	F      *Format
+	Instrs []*Instr
+}
+
+// NewProgram returns an empty program for the format.
+func NewProgram(f *Format) *Program { return &Program{F: f} }
+
+// Append adds an instruction and returns its address.
+func (p *Program) Append(in *Instr) int {
+	p.Instrs = append(p.Instrs, in)
+	return len(p.Instrs) - 1
+}
+
+// Len returns the number of instructions.
+func (p *Program) Len() int { return len(p.Instrs) }
+
+// At returns the instruction at address pc.
+func (p *Program) At(pc int) (*Instr, error) {
+	if pc < 0 || pc >= len(p.Instrs) {
+		return nil, fmt.Errorf("microcode: pc %d out of range [0,%d)", pc, len(p.Instrs))
+	}
+	return p.Instrs[pc], nil
+}
+
+// Validate checks that every sequencer target is in range and that all
+// encoded opcodes are defined.
+func (p *Program) Validate() error {
+	for pc, in := range p.Instrs {
+		s := in.SeqOf()
+		if s.Cond != CondHalt {
+			if s.Next < 0 || s.Next >= len(p.Instrs) {
+				return fmt.Errorf("microcode: instr %d: next target %d out of range", pc, s.Next)
+			}
+			if s.Cond == CondFlagSet || s.Cond == CondFlagClear || s.Cond == CondLoop {
+				if s.Branch < 0 || s.Branch >= len(p.Instrs) {
+					return fmt.Errorf("microcode: instr %d: branch target %d out of range", pc, s.Branch)
+				}
+			}
+		}
+		for i := 0; i < p.F.Cfg.TotalFUs; i++ {
+			if op := in.FUOp(arch.FUID(i)); !op.Valid() {
+				return fmt.Errorf("microcode: instr %d: fu%d has undefined opcode %d", pc, i, op)
+			}
+		}
+	}
+	return nil
+}
+
+// Disassemble renders the whole program.
+func (p *Program) Disassemble() string {
+	s := ""
+	for pc, in := range p.Instrs {
+		s += fmt.Sprintf("--- instr %d ---\n%s", pc, in.Disassemble())
+	}
+	return s
+}
+
+// Binary container. Layout (little endian):
+//
+//	magic "NSCM" | version u32 | bits u32 | lanes u32 | count u32 |
+//	count × lanes × u64
+//
+// The format itself is not serialized; the reader must construct the
+// matching Format from the same arch.Config, and bits/lanes are checked
+// against it.
+const (
+	magic   = "NSCM"
+	version = 1
+)
+
+// WriteTo serializes the program.
+func (p *Program) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if _, err := io.WriteString(w, magic); err != nil {
+		return n, err
+	}
+	n += 4
+	if err := write(uint32(version)); err != nil {
+		return n, err
+	}
+	if err := write(uint32(p.F.Bits)); err != nil {
+		return n, err
+	}
+	if err := write(uint32(p.F.WordsPerInstr)); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(p.Instrs))); err != nil {
+		return n, err
+	}
+	for _, in := range p.Instrs {
+		if err := write([]uint64(in.W)); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadProgram deserializes a program assembled for format f.
+func ReadProgram(r io.Reader, f *Format) (*Program, error) {
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("microcode: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, errors.New("microcode: bad magic, not an NSC microcode file")
+	}
+	var ver, bits, lanes, count uint32
+	for _, v := range []*uint32{&ver, &bits, &lanes, &count} {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("microcode: reading header: %w", err)
+		}
+	}
+	if ver != version {
+		return nil, fmt.Errorf("microcode: version %d unsupported", ver)
+	}
+	if int(bits) != f.Bits || int(lanes) != f.WordsPerInstr {
+		return nil, fmt.Errorf("microcode: file built for %d-bit/%d-lane format, reader has %d-bit/%d-lane", bits, lanes, f.Bits, f.WordsPerInstr)
+	}
+	if count > 1<<20 {
+		return nil, fmt.Errorf("microcode: implausible instruction count %d", count)
+	}
+	p := NewProgram(f)
+	for i := uint32(0); i < count; i++ {
+		w := f.NewWord()
+		if err := binary.Read(r, binary.LittleEndian, []uint64(w)); err != nil {
+			return nil, fmt.Errorf("microcode: reading instruction %d: %w", i, err)
+		}
+		p.Append(&Instr{F: f, W: w})
+	}
+	return p, nil
+}

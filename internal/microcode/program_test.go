@@ -1,0 +1,132 @@
+package microcode
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func sampleProgram(t testing.TB) *Program {
+	t.Helper()
+	cfg := arch.Default()
+	f := MustFormat(cfg)
+	p := NewProgram(f)
+	for i := 0; i < 3; i++ {
+		in := f.NewInstr()
+		in.SetFUOp(arch.FUID(i), arch.OpAdd)
+		in.SetConst(0, float64(i)*1.5)
+		in.SetSeq(Seq{Next: (i + 1) % 3})
+		p.Append(in)
+	}
+	last := p.Instrs[2]
+	last.SetSeq(Seq{Cond: CondHalt})
+	return p
+}
+
+func TestProgramAppendAt(t *testing.T) {
+	p := sampleProgram(t)
+	if p.Len() != 3 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	in, err := p.At(1)
+	if err != nil || in.FUOp(1) != arch.OpAdd {
+		t.Errorf("At(1): %v", err)
+	}
+	if _, err := p.At(-1); err == nil {
+		t.Error("At(-1) should fail")
+	}
+	if _, err := p.At(3); err == nil {
+		t.Error("At(3) should fail")
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	p := sampleProgram(t)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+	// Next target out of range.
+	bad := sampleProgram(t)
+	bad.Instrs[0].SetSeq(Seq{Next: 99})
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range next accepted")
+	}
+	// Branch target out of range.
+	bad2 := sampleProgram(t)
+	bad2.Instrs[0].SetSeq(Seq{Next: 1, Cond: CondFlagSet, Branch: 50})
+	if err := bad2.Validate(); err == nil {
+		t.Error("out-of-range branch accepted")
+	}
+	// Undefined opcode.
+	bad3 := sampleProgram(t)
+	fl, _ := bad3.F.FieldByName("fu0.op")
+	bad3.Instrs[0].W.Set(fl, uint64(arch.NumOps))
+	if err := bad3.Validate(); err == nil {
+		t.Error("undefined opcode accepted")
+	}
+}
+
+func TestProgramSerializationRoundTrip(t *testing.T) {
+	p := sampleProgram(t)
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadProgram(&buf, p.F)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != p.Len() {
+		t.Fatalf("round trip length %d, want %d", q.Len(), p.Len())
+	}
+	for i := range p.Instrs {
+		a, b := p.Instrs[i].W, q.Instrs[i].W
+		for lane := range a {
+			if a[lane] != b[lane] {
+				t.Fatalf("instr %d lane %d differs", i, lane)
+			}
+		}
+	}
+}
+
+func TestReadProgramRejectsGarbage(t *testing.T) {
+	f := MustFormat(arch.Default())
+	if _, err := ReadProgram(strings.NewReader("JUNKJUNKJUNK"), f); err == nil {
+		t.Error("garbage magic accepted")
+	}
+	if _, err := ReadProgram(strings.NewReader(""), f); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Truncated body.
+	p := sampleProgram(t)
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-8]
+	if _, err := ReadProgram(bytes.NewReader(trunc), f); err == nil {
+		t.Error("truncated program accepted")
+	}
+}
+
+func TestReadProgramFormatMismatch(t *testing.T) {
+	p := sampleProgram(t)
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := MustFormat(arch.Subset())
+	if _, err := ReadProgram(&buf, other); err == nil {
+		t.Error("format mismatch accepted")
+	}
+}
+
+func TestProgramDisassemble(t *testing.T) {
+	p := sampleProgram(t)
+	txt := p.Disassemble()
+	if !strings.Contains(txt, "instr 0") || !strings.Contains(txt, "instr 2") {
+		t.Errorf("disassembly missing instruction headers:\n%s", txt)
+	}
+}

@@ -1,0 +1,43 @@
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/sim"
+)
+
+// StatsReport renders an execution summary with a per-functional-unit
+// utilization bar chart — the operator's view of how well a program
+// keeps the node's 32 units busy (the paper's §3 worry: "code that can
+// achieve high utilization of 32 function units").
+func StatsReport(st sim.Stats, cfg arch.Config) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "instructions %d   cycles %d (%.3f ms at %.0f MHz)\n",
+		st.Instructions, st.Cycles, st.Seconds(cfg.ClockHz)*1e3, cfg.ClockHz/1e6)
+	fmt.Fprintf(&sb, "FLOPs %d   %.1f MFLOPS of %.0f peak   elements streamed %d\n",
+		st.FLOPs, st.MFLOPS(cfg.ClockHz), cfg.PeakFLOPS()/1e6, st.Elements)
+	fmt.Fprintf(&sb, "unit utilization %.1f%%\n", 100*st.Utilization(cfg.TotalFUs))
+	if len(st.FUBusy) == 0 {
+		return sb.String()
+	}
+	var maxBusy int64 = 1
+	for _, b := range st.FUBusy {
+		if b > maxBusy {
+			maxBusy = b
+		}
+	}
+	const barW = 40
+	for i, b := range st.FUBusy {
+		if b == 0 {
+			continue
+		}
+		n := int(b * barW / maxBusy)
+		if n < 1 {
+			n = 1
+		}
+		fmt.Fprintf(&sb, "  fu%-3d %s %d\n", i, strings.Repeat("#", n), b)
+	}
+	return sb.String()
+}

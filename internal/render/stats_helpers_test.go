@@ -1,0 +1,13 @@
+package render
+
+import "repro/internal/sim"
+
+// simStats fabricates a stats block for the report test.
+func simStats() sim.Stats {
+	busy := make([]int64, 32)
+	busy[0] = 1000
+	busy[1] = 250
+	return sim.Stats{Instructions: 3, Cycles: 5000, FLOPs: 9000, Elements: 3000, FUBusy: busy}
+}
+
+func simEmptyStats() sim.Stats { return sim.Stats{Instructions: 1, Cycles: 16} }

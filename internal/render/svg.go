@@ -1,0 +1,139 @@
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/diagram"
+)
+
+// SVG renders a pipeline diagram as a standalone SVG document. Cell
+// geometry matches the ASCII renderer (one character cell = cw×ch
+// pixels), so the two renditions lay out identically.
+func SVG(p *diagram.Pipeline) string {
+	const cw, ch = 9, 18
+	maxX, maxY := 40, 10
+	for _, ic := range p.Icons {
+		iw, ih := IconSize(ic)
+		if v := ic.X + iw + 4; v > maxX {
+			maxX = v
+		}
+		if v := ic.Y + ih + 2; v > maxY {
+			maxY = v
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="12">`,
+		maxX*cw+20, maxY*ch+40)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&sb, `<text x="10" y="16" font-weight="bold">pipeline %d: %s</text>`, p.ID, esc(p.Label))
+
+	px := func(x int) int { return x*cw + 10 }
+	py := func(y int) int { return y*ch + 30 }
+
+	// Wires first.
+	for _, w := range p.Wires {
+		fi, err1 := p.Icon(w.From.Icon)
+		ti, err2 := p.Icon(w.To.Icon)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		fx, fy, ok1 := PadPos(fi, w.From.Pad)
+		tx, ty, ok2 := PadPos(ti, w.To.Pad)
+		if !ok1 || !ok2 {
+			continue
+		}
+		midX := (fx + tx) / 2
+		if tx <= fx {
+			midX = fx + 2
+		}
+		fmt.Fprintf(&sb, `<polyline points="%d,%d %d,%d %d,%d %d,%d" fill="none" stroke="#333" stroke-width="1.5"/>`,
+			px(fx), py(fy)+ch/2, px(midX), py(fy)+ch/2, px(midX), py(ty)+ch/2, px(tx), py(ty)+ch/2)
+		if w.Delay > 0 {
+			fmt.Fprintf(&sb, `<text x="%d" y="%d" fill="#a00">z%d</text>`, px(midX)+3, py((fy+ty)/2)+ch/2-3, w.Delay)
+		}
+	}
+
+	for _, ic := range p.Icons {
+		w, h := IconSize(ic)
+		x, y := px(ic.X), py(ic.Y)
+		wpx, hpx := w*cw, h*ch
+		switch ic.Kind {
+		case diagram.IconMemPlane, diagram.IconCache:
+			fill := "#e8f0fe"
+			if ic.Kind == diagram.IconCache {
+				fill = "#fef3e8"
+			}
+			fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#333"/>`, x, y, wpx, hpx, fill)
+			tag := fmt.Sprintf("M[%d]", ic.Plane)
+			if ic.Kind == diagram.IconCache {
+				tag = fmt.Sprintf("C[%d]", ic.Plane)
+			}
+			fmt.Fprintf(&sb, `<text x="%d" y="%d">%s %s</text>`, x+4, y+16, esc(ic.Name), tag)
+			if ic.RdDMA != nil {
+				fmt.Fprintf(&sb, `<text x="%d" y="%d" fill="#555">%s</text>`, x+4, y+32, esc(dmaTag(ic.RdDMA)))
+			} else if ic.WrDMA != nil {
+				fmt.Fprintf(&sb, `<text x="%d" y="%d" fill="#555">%s</text>`, x+4, y+32, esc(dmaTag(ic.WrDMA)))
+			}
+		case diagram.IconSDU:
+			fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="#eefbee" stroke="#333"/>`, x, y, wpx, hpx)
+			fmt.Fprintf(&sb, `<text x="%d" y="%d">%s SDU</text>`, x+4, y+16, esc(ic.Name))
+			for t, d := range ic.Taps {
+				fmt.Fprintf(&sb, `<text x="%d" y="%d" fill="#555">z%d</text>`, x+wpx-34, py(ic.Y+2+t)+ch-4, d)
+			}
+		default:
+			fmt.Fprintf(&sb, `<text x="%d" y="%d" font-weight="bold">%s (%s)</text>`, x, y+12, esc(ic.Name), ic.Kind)
+			for slot := 0; slot < ic.Kind.ActiveUnits(); slot++ {
+				by := py(ic.Y + 1 + slot*3)
+				stroke := "#333"
+				width := 1.0
+				if unitCapString(ic.Kind, slot) == "I" {
+					width = 3.0 // the Figure 4 "double box"
+				}
+				fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="#f5f5f5" stroke="%s" stroke-width="%.1f"/>`,
+					x+cw, by, (w-2)*cw, 3*ch, stroke, width)
+				u := diagram.UnitConfig{}
+				if slot < len(ic.Units) {
+					u = ic.Units[slot]
+				}
+				label := u.Op.String()
+				if u.Op == arch.OpNop {
+					label = "—"
+				}
+				if u.Reduce {
+					label += " ⟲"
+				}
+				if u.ConstB != nil {
+					label += fmt.Sprintf(" b=%g", *u.ConstB)
+				}
+				if u.ConstA != nil {
+					label += fmt.Sprintf(" a=%g", *u.ConstA)
+				}
+				if unitCapString(ic.Kind, slot) == "M" {
+					label += " [minmax]"
+				}
+				fmt.Fprintf(&sb, `<text x="%d" y="%d">%s</text>`, x+cw+6, by+ch+8, esc(label))
+			}
+		}
+		// Pad dots.
+		for _, pd := range ic.Kind.Pads() {
+			if pxd, pyd, ok := PadPos(ic, pd.Name); ok {
+				fmt.Fprintf(&sb, `<circle cx="%d" cy="%d" r="3" fill="black"/>`, px(pxd), py(pyd)+ch/2)
+			}
+		}
+	}
+	if p.Compare != nil {
+		fmt.Fprintf(&sb, `<text x="10" y="%d" fill="#a00">compare u%d %s %g → flag %d</text>`,
+			maxY*ch+34, p.Compare.Slot, esc(p.Compare.Op), p.Compare.Threshold, p.Compare.Flag)
+	}
+	sb.WriteString(`</svg>`)
+	return sb.String()
+}
+
+func esc(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}

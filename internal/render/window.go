@@ -1,0 +1,152 @@
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/diagram"
+	"repro/internal/editor"
+)
+
+// Window reproduces the Figure 5 display layout around the current
+// pipeline: an informational/error message strip across the top, the
+// variable-declaration and control-flow region at the left, the
+// drawing space in the center, and the icon/operations control panel
+// on the right.
+func Window(ed *editor.Editor) string {
+	const leftW = 26
+	const rightW = 24
+
+	drawing := strings.Split(strings.TrimRight(Pipeline(ed.Current()), "\n"), "\n")
+
+	var left []string
+	left = append(left, "DECLARATIONS")
+	for _, v := range ed.Doc.Decls {
+		left = append(left, clip(fmt.Sprintf(" %s M[%d]+%d #%d", v.Name, v.Plane, v.Base, v.Len), leftW-1))
+	}
+	left = append(left, "", "CONTROL FLOW")
+	for i, op := range ed.Doc.Flow {
+		tag := fmt.Sprintf(" %d:", i)
+		if op.Label != "" {
+			tag = " " + op.Label + ":"
+		}
+		body := fmt.Sprintf("pipe %d", op.Pipe)
+		switch op.Cond {
+		case diagram.CondHalt:
+			body = "halt"
+		case diagram.CondFlagSet:
+			body += fmt.Sprintf(" if f%d -> %s", op.Flag, op.Branch)
+		case diagram.CondFlagClear:
+			body += fmt.Sprintf(" if !f%d -> %s", op.Flag, op.Branch)
+		}
+		left = append(left, clip(tag+" "+body, leftW-1))
+	}
+
+	right := []string{
+		"CONTROL PANEL",
+		" icons:",
+		"  singlet",
+		"  doublet",
+		"  doublet-bypass",
+		"  triplet",
+		"  memplane",
+		"  cache",
+		"  sdu",
+		" ops:",
+		"  insert delete copy",
+		"  scroll jump renum",
+		fmt.Sprintf(" pipeline: %d/%d", ed.CurrentIndex(), len(ed.Doc.Pipes)),
+	}
+
+	// Message strip: last event.
+	msg := "ready"
+	if len(ed.Log) > 0 {
+		msg = ed.Log[len(ed.Log)-1].String()
+	}
+
+	height := len(drawing)
+	if len(left) > height {
+		height = len(left)
+	}
+	if len(right) > height {
+		height = len(right)
+	}
+
+	centerW := 0
+	for _, l := range drawing {
+		if n := len([]rune(l)); n > centerW {
+			centerW = n
+		}
+	}
+	if centerW < 40 {
+		centerW = 40
+	}
+	totalW := leftW + centerW + rightW + 4
+
+	var sb strings.Builder
+	sb.WriteString("+" + strings.Repeat("-", totalW-2) + "+\n")
+	sb.WriteString("|" + pad(clipRunes(" "+msg, totalW-2), totalW-2) + "|\n")
+	sb.WriteString("+" + strings.Repeat("-", leftW) + "+" + strings.Repeat("-", centerW) + "+" + strings.Repeat("-", rightW) + "+\n")
+	row := func(cols []string, i int, w int) string {
+		s := ""
+		if i < len(cols) {
+			s = cols[i]
+		}
+		return pad(clipRunes(s, w), w)
+	}
+	for i := 0; i < height; i++ {
+		sb.WriteString("|" + row(left, i, leftW) + "|" + row(drawing, i, centerW) + "|" + row(right, i, rightW) + "|\n")
+	}
+	sb.WriteString("+" + strings.Repeat("-", leftW) + "+" + strings.Repeat("-", centerW) + "+" + strings.Repeat("-", rightW) + "+\n")
+	return sb.String()
+}
+
+// pad and clipRunes are rune-aware so multibyte glyphs (the double-box
+// '‖' of integer-capable units) keep the window columns aligned.
+func pad(s string, w int) string {
+	n := len([]rune(s))
+	if n >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-n)
+}
+
+func clipRunes(s string, w int) string {
+	r := []rune(s)
+	if len(r) <= w {
+		return s
+	}
+	return string(r[:w])
+}
+
+// Datapath renders the Figure 1 simplified datapath architecture
+// diagram for a machine configuration, with the component inventory
+// table the paper annotates it with.
+func Datapath(nodes int, memPlanes int, planeMB int64, caches int, cacheKB int64, sdus, triplets, doublets, singlets int) string {
+	var sb strings.Builder
+	sb.WriteString(`
+              +--------------------+
+              |  Hyperspace Router |
+              +---------+----------+
+                        |
+   +-----------+   +----+------------------+   +---------------+
+   | Memory    |   |                       |   | Double-Buffer |
+   | Planes    +---+    Switch Network     +---+ Data Caches   |
+   | %2dx%3dMB  |   |       (FLONET)        |   | %2dx%2dKBx2    |
+   +-----------+   +--+-----+------+----+--+   +---------------+
+                      |     |      |    |
+              +-------+--+ +++----+++ +-+------------+
+              | Singlets | |Doublets| |  Triplets    |
+              |   x%d     | |  x%d    | |    x%d       |
+              +----------+ +--------+ +--------------+
+                   Functional Units (32 total)
+                        |
+              +---------+----------+
+              |  Shift/Delay Units |
+              |        x%d          |
+              +--------------------+
+`)
+	body := fmt.Sprintf(sb.String(), memPlanes, planeMB, caches, cacheKB, singlets, doublets, triplets, sdus)
+	head := fmt.Sprintf("Navier-Stokes Computer datapath (one of %d nodes)\n", nodes)
+	return head + body
+}

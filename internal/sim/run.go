@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/microcode"
+)
+
+// RunResult summarizes a program execution.
+type RunResult struct {
+	// Executed is the number of instructions dispatched.
+	Executed int64
+	// FinalPC is the address of the halting instruction.
+	FinalPC int
+}
+
+// DefaultMaxInstructions bounds Run when the caller passes 0.
+const DefaultMaxInstructions = 1 << 20
+
+// Run executes a microcode program on the node, starting at PC 0,
+// following the sequencer's next/branch/halt decisions until a CondHalt
+// instruction completes or maxInstrs instructions have been dispatched
+// (0 means DefaultMaxInstructions). It is the central sequencer of §2.
+func (n *Node) Run(p *microcode.Program, maxInstrs int64) (RunResult, error) {
+	if err := p.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	if maxInstrs <= 0 {
+		maxInstrs = DefaultMaxInstructions
+	}
+	var res RunResult
+	pc := 0
+	for {
+		if res.Executed >= maxInstrs {
+			return res, fmt.Errorf("sim: instruction budget %d exhausted at pc %d (runaway loop?)", maxInstrs, pc)
+		}
+		in, err := p.At(pc)
+		if err != nil {
+			return res, err
+		}
+		if err := n.Exec(in); err != nil {
+			return res, fmt.Errorf("sim: pc %d: %w", pc, err)
+		}
+		res.Executed++
+		s := in.SeqOf()
+		switch s.Cond {
+		case microcode.CondHalt:
+			res.FinalPC = pc
+			return res, nil
+		case microcode.CondAlways:
+			pc = s.Next
+		case microcode.CondFlagSet:
+			if n.Flag(s.Flag) {
+				pc = s.Branch
+			} else {
+				pc = s.Next
+			}
+		case microcode.CondFlagClear:
+			if !n.Flag(s.Flag) {
+				pc = s.Branch
+			} else {
+				pc = s.Next
+			}
+		case microcode.CondLoop:
+			n.Ctr[s.Ctr&3]--
+			if n.Ctr[s.Ctr&3] > 0 {
+				pc = s.Branch
+			} else {
+				pc = s.Next
+			}
+		default:
+			return res, fmt.Errorf("sim: pc %d: unknown sequencer condition %d", pc, s.Cond)
+		}
+	}
+}
