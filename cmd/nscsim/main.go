@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	nscsim [-subset] -prog prog.nscm [-max n] [-load plane:addr:file] [-dump plane:addr:count]
+//	nscsim [-subset] -prog prog.nscm [-max n] [-par n] [-load plane:addr:file] [-dump plane:addr:count]
 //
 // -load fills a memory plane from a whitespace-separated list of
 // float64 values before the run; -dump prints plane contents after.
-// Both flags repeat.
+// Both flags repeat. -par n runs the program SPMD-style on n simulated
+// nodes concurrently through the bounded worker pool (every node gets
+// the same program and the same -load data; -dump reads node 0), the
+// multi-node shape of the paper's hypercube driver. The report always
+// includes the decoded-instruction (plan) cache counters: with the
+// decode-once engine, looping programs compile each distinct
+// instruction once and replay the compiled pipeline configuration.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"strings"
 
 	"repro/internal/arch"
+	"repro/internal/hypercube"
 	"repro/internal/microcode"
 	"repro/internal/sim"
 )
@@ -33,28 +40,36 @@ func main() {
 	subset := flag.Bool("subset", false, "use the simplified architectural subset model")
 	progPath := flag.String("prog", "", "microcode program to execute")
 	max := flag.Int64("max", 0, "instruction budget (0 = default)")
+	par := flag.Int("par", 1, "run the program on this many nodes concurrently (SPMD)")
 	var loads, dumps multi
 	flag.Var(&loads, "load", "plane:addr:file — preload plane data")
 	flag.Var(&dumps, "dump", "plane:addr:count — print plane words after the run")
 	flag.Parse()
 
 	if *progPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: nscsim -prog prog.nscm [-load plane:addr:file] [-dump plane:addr:count]")
+		fmt.Fprintln(os.Stderr, "usage: nscsim -prog prog.nscm [-par n] [-load plane:addr:file] [-dump plane:addr:count]")
 		os.Exit(2)
+	}
+	if *par < 1 {
+		fatal(fmt.Errorf("-par %d: need at least one node", *par))
 	}
 	cfg := arch.Default()
 	if *subset {
 		cfg = arch.Subset()
 	}
-	node, err := sim.NewNode(cfg)
-	if err != nil {
-		fatal(err)
+	nodes := make([]*sim.Node, *par)
+	for i := range nodes {
+		n, err := sim.NewNode(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		nodes[i] = n
 	}
 	f, err := os.Open(*progPath)
 	if err != nil {
 		fatal(err)
 	}
-	prog, err := microcode.ReadProgram(f, node.F)
+	prog, err := microcode.ReadProgram(f, nodes[0].F)
 	f.Close()
 	if err != nil {
 		fatal(err)
@@ -69,19 +84,45 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := node.WriteWords(plane, addr, vals); err != nil {
-			fatal(err)
+		for _, n := range nodes {
+			if err := n.WriteWords(plane, addr, vals); err != nil {
+				fatal(err)
+			}
 		}
 	}
 
-	res, err := node.Run(prog, *max)
-	if err != nil {
+	// SPMD dispatch: every node runs the same program against its own
+	// state, bounded by the worker pool; the first failure cancels.
+	results := make([]sim.RunResult, len(nodes))
+	if err := hypercube.ParallelFor(*par, len(nodes), func(i int) error {
+		var err error
+		results[i], err = nodes[i].Run(prog, *max)
+		if err != nil {
+			return fmt.Errorf("node %d: %w", i, err)
+		}
+		return nil
+	}); err != nil {
 		fatal(err)
 	}
+
+	node, res := nodes[0], results[0]
 	st := node.Stats
+	if *par > 1 {
+		agree := 0
+		for i, r := range results {
+			if r == res && statsEqual(nodes[i].Stats, st) {
+				agree++
+			}
+		}
+		fmt.Printf("%d nodes ran the program concurrently; %d/%d report identical outcomes\n",
+			*par, agree, *par)
+	}
 	fmt.Printf("executed %d instruction(s), halted at pc %d\n", res.Executed, res.FinalPC)
 	fmt.Printf("cycles %d (%.3f ms at %.0f MHz)  FLOPs %d  %.1f MFLOPS  interrupts %d  flags %016b\n",
 		st.Cycles, st.Seconds(cfg.ClockHz)*1e3, cfg.ClockHz/1e6, st.FLOPs, st.MFLOPS(cfg.ClockHz), len(node.IRQs), node.Flags)
+	pc := node.PlanCacheStats()
+	fmt.Printf("plan cache: %d compiled, %d hits, %d misses (decode-once engine)\n",
+		pc.Entries, pc.Hits, pc.Misses)
 
 	for _, d := range dumps {
 		plane, addr, countStr, err := splitRef(d)
@@ -102,6 +143,22 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// statsEqual compares Stats field by field, including the per-unit
+// utilization slice.
+func statsEqual(a, b sim.Stats) bool {
+	if a.Instructions != b.Instructions || a.Cycles != b.Cycles ||
+		a.FLOPs != b.FLOPs || a.Elements != b.Elements ||
+		len(a.FUBusy) != len(b.FUBusy) {
+		return false
+	}
+	for i := range a.FUBusy {
+		if a.FUBusy[i] != b.FUBusy[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // splitRef parses "plane:addr:rest".

@@ -79,6 +79,13 @@ func (env *Environment) Execute(p *microcode.Program, maxInstrs int64) (sim.RunR
 	return env.Node.Run(p, maxInstrs)
 }
 
+// PlanCacheStats reports the node's decoded-instruction cache
+// counters: how often Execute replayed a compiled pipeline
+// configuration instead of re-deriving it from the microcode word.
+func (env *Environment) PlanCacheStats() sim.PlanCacheStats {
+	return env.Node.PlanCacheStats()
+}
+
 // BuildAndRun is the complete Figure 3 workflow: edit, check, generate,
 // execute.
 func (env *Environment) BuildAndRun(script string, maxInstrs int64) (*microcode.Program, sim.RunResult, error) {

@@ -37,6 +37,14 @@ type Machine struct {
 	// sweeps regardless of the residual — for performance measurements
 	// where convergence is not the point.
 	StopAfter int
+
+	// Workers bounds the host-side goroutine pool that dispatches
+	// per-node work in SolveJacobi: 0 or 1 runs sequentially, larger
+	// values run up to that many node sweeps concurrently, and -1 uses
+	// GOMAXPROCS. Simulated results are bit-identical at every setting:
+	// nodes share no mutable simulator state, and all cycle/FLOP
+	// accounting is merged in rank order after each barrier.
+	Workers int
 }
 
 // New builds a hypercube of 2^dim nodes.
@@ -97,15 +105,28 @@ func GrayRank(r int) int { return r ^ (r >> 1) }
 // plane through the router, charging the communication cost.
 func (m *Machine) CopyWords(fromNode, fromPlane int, fromAddr int64,
 	toNode, toPlane int, toAddr int64, count int) error {
-	data, err := m.Nodes[fromNode].ReadWords(fromPlane, fromAddr, count)
+	cost, err := m.copyPayload(fromNode, fromPlane, fromAddr, toNode, toPlane, toAddr, count)
 	if err != nil {
 		return err
 	}
-	if err := m.Nodes[toNode].WriteWords(toPlane, toAddr, data); err != nil {
-		return err
-	}
-	m.CommCycles += m.SendCost(int64(count)*int64(m.Cfg.WordBytes), m.Hops(fromNode, toNode))
+	m.CommCycles += cost
 	return nil
+}
+
+// copyPayload is the data-movement half of CopyWords: it performs the
+// transfer and returns the router cost without touching the machine's
+// shared accumulators, so concurrent transfers over disjoint node
+// pairs can defer accounting to a deterministic rank-order merge.
+func (m *Machine) copyPayload(fromNode, fromPlane int, fromAddr int64,
+	toNode, toPlane int, toAddr int64, count int) (int64, error) {
+	data, err := m.Nodes[fromNode].ReadWords(fromPlane, fromAddr, count)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.Nodes[toNode].WriteWords(toPlane, toAddr, data); err != nil {
+		return 0, err
+	}
+	return m.SendCost(int64(count)*int64(m.Cfg.WordBytes), m.Hops(fromNode, toNode)), nil
 }
 
 // JacobiResult reports a multi-node solve.
@@ -114,12 +135,20 @@ type JacobiResult struct {
 	Iterations int
 	Converged  bool
 	Residual   float64
+	// ResidualSeries holds the combined max-residual after every
+	// iteration, in order — the convergence history, and the signal the
+	// parallel-equivalence tests compare bit for bit.
+	ResidualSeries []float64
 	// Cycles is the machine critical path: per-iteration max node time
 	// plus exchange and combine communication.
 	Cycles int64
 	// TotalFLOPs across all nodes.
 	TotalFLOPs int64
 	GFLOPS     float64
+	// PlanCache aggregates the nodes' decoded-instruction cache
+	// counters: with the decode-once engine each node compiles its two
+	// sweep instructions exactly once however many iterations run.
+	PlanCache sim.PlanCacheStats
 }
 
 // SolveJacobi runs the paper's example problem on the hypercube with a
@@ -167,32 +196,38 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 	}
 
 	// Generate each node's sweep instructions (u→v and v→u) once.
-	gen := codegen.New(arch.MustInventory(m.Cfg))
+	// Document building, code generation and plane loading are
+	// independent per rank, so they go through the worker pool too;
+	// every rank gets its own generator to keep the workers share-free.
 	fwd := make([]*microcode.Instr, p)
 	bwd := make([]*microcode.Instr, p)
-	for r := 0; r < p; r++ {
+	if err := ParallelFor(m.Workers, p, func(r int) error {
 		doc, _, err := locals[r].BuildDocument(m.Cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		gen := codegen.New(arch.MustInventory(m.Cfg))
 		if fwd[r], _, err = gen.Pipeline(doc, doc.Pipes[0]); err != nil {
-			return nil, err
+			return err
 		}
 		if bwd[r], _, err = gen.Pipeline(doc, doc.Pipes[1]); err != nil {
-			return nil, err
+			return err
 		}
-		if err := locals[r].Load(m.Nodes[node(r)]); err != nil {
-			return nil, err
-		}
+		return locals[r].Load(m.Nodes[node(r)])
+	}); err != nil {
+		return nil, err
 	}
 
 	res := &JacobiResult{}
 	redFU := arch.FUID(11) // T4 slot 2 under the default triplet layout
+	sweep := make([]int64, p)
 	for it := 0; it < global.MaxIter; it++ {
-		// Sweep on every node; critical path is the slowest node.
-		var maxNode int64
-		curPlane := jacobi.PlaneV
-		for r := 0; r < p; r++ {
+		// Sweep on every node. Each node only mutates its own simulator
+		// state, so the sweeps dispatch across the worker pool; the
+		// cycle deltas land in a per-rank slice and merge after the
+		// barrier in rank order, keeping MachineCycles bit-identical to
+		// the sequential schedule. The critical path is the slowest node.
+		if err := ParallelFor(m.Workers, p, func(r int) error {
 			nd := m.Nodes[node(r)]
 			before := nd.Stats.Cycles
 			in := fwd[r]
@@ -200,12 +235,20 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 				in = bwd[r]
 			}
 			if err := nd.Exec(in); err != nil {
-				return nil, fmt.Errorf("hypercube: node %d sweep %d: %w", r, it, err)
+				return fmt.Errorf("hypercube: node %d sweep %d: %w", r, it, err)
 			}
-			if d := nd.Stats.Cycles - before; d > maxNode {
-				maxNode = d
+			sweep[r] = nd.Stats.Cycles - before
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		var maxNode int64
+		for r := 0; r < p; r++ {
+			if sweep[r] > maxNode {
+				maxNode = sweep[r]
 			}
 		}
+		curPlane := jacobi.PlaneV
 		if it%2 == 1 {
 			curPlane = jacobi.PlaneU
 		}
@@ -228,6 +271,7 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 			m.MachineCycles += combine
 		}
 		res.Residual = worst
+		res.ResidualSeries = append(res.ResidualSeries, worst)
 		if m.StopAfter > 0 {
 			if res.Iterations >= m.StopAfter {
 				res.Converged = worst < global.Tol
@@ -242,20 +286,36 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 		// last owned plane down-ring and its first owned plane up-ring.
 		// All pairs exchange concurrently, so the machine's critical
 		// path grows by one node's traffic (two face messages), while
-		// CommCycles keeps the aggregate router load.
-		for r := 0; r < p; r++ {
-			if r+1 < p {
+		// CommCycles keeps the aggregate router load. Pair (r, r+1)
+		// touches exactly two nodes, so even-r pairs are mutually
+		// disjoint (as are odd-r pairs): the exchange dispatches over
+		// the pool in two phases, recording per-pair router costs that
+		// merge into CommCycles in rank order after each phase.
+		pairCost := make([]int64, p)
+		for phase := 0; phase < 2; phase++ {
+			pairs := pairsOfParity(p, phase)
+			if err := ParallelFor(m.Workers, len(pairs), func(k int) error {
+				r := pairs[k]
 				// r's plane kz=slab (global lo+slab-1) → (r+1)'s ghost kz=0.
-				if err := m.CopyWords(node(r), curPlane, int64(slab*nn),
-					node(r+1), curPlane, 0, nn); err != nil {
-					return nil, err
+				down, err := m.copyPayload(node(r), curPlane, int64(slab*nn),
+					node(r+1), curPlane, 0, nn)
+				if err != nil {
+					return err
 				}
 				// (r+1)'s plane kz=1 → r's ghost kz=slab+1.
-				if err := m.CopyWords(node(r+1), curPlane, int64(nn),
-					node(r), curPlane, int64((slab+1)*nn), nn); err != nil {
-					return nil, err
+				up, err := m.copyPayload(node(r+1), curPlane, int64(nn),
+					node(r), curPlane, int64((slab+1)*nn), nn)
+				if err != nil {
+					return err
 				}
+				pairCost[r] = down + up
+				return nil
+			}); err != nil {
+				return nil, err
 			}
+		}
+		for r := 0; r+1 < p; r++ {
+			m.CommCycles += pairCost[r]
 		}
 		if p > 1 {
 			m.MachineCycles += 2 * m.SendCost(int64(nn)*int64(m.Cfg.WordBytes), 1)
@@ -282,6 +342,10 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 
 	for _, nd := range m.Nodes {
 		res.TotalFLOPs += nd.Stats.FLOPs
+		st := nd.PlanCacheStats()
+		res.PlanCache.Hits += st.Hits
+		res.PlanCache.Misses += st.Misses
+		res.PlanCache.Entries += st.Entries
 	}
 	res.Cycles = m.MachineCycles
 	if res.Cycles > 0 {
@@ -296,6 +360,17 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 // node maps ring rank r to its hypercube address via the Gray code, so
 // ring neighbours are physical neighbours.
 func node(r int) int { return GrayRank(r) }
+
+// pairsOfParity lists the ring-exchange pairs (r, r+1) whose lower
+// rank has the given parity. Within one parity class no two pairs
+// share a node, so the class can exchange concurrently.
+func pairsOfParity(p, parity int) []int {
+	var pairs []int
+	for r := parity; r+1 < p; r += 2 {
+		pairs = append(pairs, r)
+	}
+	return pairs
+}
 
 // PeakGFLOPS returns the machine's aggregate peak rate.
 func (m *Machine) PeakGFLOPS() float64 {

@@ -282,6 +282,10 @@ type Result struct {
 	MFLOPS     float64
 	// FillCycles is the pipeline depth reported by the generator.
 	FillCycles int
+	// PlanCache reports the node's decoded-instruction cache: the
+	// ping-pong solver dispatches two distinct sweep instructions
+	// hundreds of times, so Hits ≈ Iterations − Misses.
+	PlanCache sim.PlanCacheStats
 }
 
 // Load writes the problem arrays into the node's memory planes.
@@ -320,7 +324,8 @@ func (p *Problem) Run(cfg arch.Config) (*Result, error) {
 		return nil, err
 	}
 
-	out := &Result{Stats: node.Stats, MFLOPS: node.Stats.MFLOPS(cfg.ClockHz)}
+	out := &Result{Stats: node.Stats, MFLOPS: node.Stats.MFLOPS(cfg.ClockHz),
+		PlanCache: node.PlanCacheStats()}
 	for _, pi := range rep.Pipes {
 		if pi.FillCycles > out.FillCycles {
 			out.FillCycles = pi.FillCycles

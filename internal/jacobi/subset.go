@@ -243,7 +243,8 @@ func (p *Problem) SubsetRun(cfg arch.Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Stats: node.Stats, MFLOPS: node.Stats.MFLOPS(cfg.ClockHz)}
+	out := &Result{Stats: node.Stats, MFLOPS: node.Stats.MFLOPS(cfg.ClockHz),
+		PlanCache: node.PlanCacheStats()}
 	for _, pi := range rep.Pipes {
 		if pi.FillCycles > out.FillCycles {
 			out.FillCycles = pi.FillCycles

@@ -24,6 +24,13 @@ import (
 // values, comparison thresholds).
 const ConstPoolSize = 8
 
+// NumCounters is the number of loop counters the sequencer implements.
+// The seq.ctr field is wider than strictly necessary so that an
+// out-of-range index is representable — and rejected by
+// Program.Validate and the simulator's decoder — rather than silently
+// wrapped modulo NumCounters.
+const NumCounters = 4
+
 // Field is one named bit range within the instruction word.
 type Field struct {
 	Name   string
@@ -222,7 +229,7 @@ func NewFormat(cfg arch.Config) (*Format, error) {
 	f.seqFlag = add("seq.flag", 4)
 	f.seqIrq = add("seq.irq", 1)
 	f.seqTrap = add("seq.trap", 1)
-	f.seqCtr = add("seq.ctr", 2)
+	f.seqCtr = add("seq.ctr", 3)
 	f.seqCtrLd = add("seq.ctr.load", 1)
 	f.seqCtrVal = add("seq.ctr.value", 24)
 	f.cmpEn = add("seq.cmp.en", 1)

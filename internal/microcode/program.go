@@ -37,8 +37,10 @@ func (p *Program) At(pc int) (*Instr, error) {
 	return p.Instrs[pc], nil
 }
 
-// Validate checks that every sequencer target is in range and that all
-// encoded opcodes are defined.
+// Validate checks that every sequencer target is in range, that all
+// encoded opcodes are defined, and that every referenced loop counter
+// exists. Counter indexing is strict: an out-of-range seq.ctr is a
+// program error, not an address to be wrapped modulo NumCounters.
 func (p *Program) Validate() error {
 	for pc, in := range p.Instrs {
 		s := in.SeqOf()
@@ -51,6 +53,9 @@ func (p *Program) Validate() error {
 					return fmt.Errorf("microcode: instr %d: branch target %d out of range", pc, s.Branch)
 				}
 			}
+		}
+		if (s.Cond == CondLoop || s.CtrLoad) && (s.Ctr < 0 || s.Ctr >= NumCounters) {
+			return fmt.Errorf("microcode: instr %d: loop counter %d out of range [0,%d)", pc, s.Ctr, NumCounters)
 		}
 		for i := 0; i < p.F.Cfg.TotalFUs; i++ {
 			if op := in.FUOp(arch.FUID(i)); !op.Valid() {

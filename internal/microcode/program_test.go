@@ -68,6 +68,35 @@ func TestProgramValidate(t *testing.T) {
 	}
 }
 
+func TestValidateRejectsOutOfRangeCounter(t *testing.T) {
+	// seq.ctr is wider than strictly necessary so that out-of-range
+	// counter indices are representable; they must be rejected, not
+	// silently wrapped modulo NumCounters.
+	for _, bad := range []Seq{
+		{Next: 1, Cond: CondLoop, Branch: 0, Ctr: NumCounters},
+		{Next: 1, CtrLoad: true, Ctr: NumCounters + 1, CtrValue: 5},
+	} {
+		p := sampleProgram(t)
+		p.Instrs[0].SetSeq(bad)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("counter index %d accepted: %+v", bad.Ctr, bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "counter") {
+			t.Errorf("error should name the counter field: %v", err)
+		}
+	}
+	// In-range indices stay valid.
+	for ctr := 0; ctr < NumCounters; ctr++ {
+		p := sampleProgram(t)
+		p.Instrs[0].SetSeq(Seq{Next: 1, CtrLoad: true, Ctr: ctr, CtrValue: 3})
+		if err := p.Validate(); err != nil {
+			t.Errorf("counter index %d rejected: %v", ctr, err)
+		}
+	}
+}
+
 func TestProgramSerializationRoundTrip(t *testing.T) {
 	p := sampleProgram(t)
 	var buf bytes.Buffer

@@ -73,6 +73,11 @@ type Result struct {
 	// Converged reports the NSC residual flag.
 	Converged bool
 	Stats     sim.Stats
+	// PlanCache reports the node's decoded-instruction cache. A
+	// V-cycle replays each level's smoother/residual/correct pipelines
+	// every cycle, so the decode-once engine compiles each distinct
+	// instruction exactly once per solve.
+	PlanCache sim.PlanCacheStats
 }
 
 // New builds a solver for an n×n×n fine grid (n = 2^k+1) with the
@@ -335,6 +340,7 @@ func (s *Solver) Run() (*Result, error) {
 	}
 	res.U = u
 	res.Stats = s.Node.Stats
+	res.PlanCache = s.Node.PlanCacheStats()
 	if !res.Converged {
 		return res, fmt.Errorf("multigrid: no convergence in %d V-cycles (residual %g)", res.VCycles, res.Residual)
 	}

@@ -8,183 +8,77 @@ import (
 	"repro/internal/microcode"
 )
 
-// producer evaluates one switch-network source port cycle by cycle.
-type producer struct {
-	src arch.SourceID
-	val []float64
-	ok  []bool // data-valid qualifier, gates reduction accumulation
-	// fill, set for DMA source channels, computes the value at cycle c
-	// directly from the plane or cache.
-	fill func(c int) (float64, bool)
-}
+// This file is the run layer of the decode-once / execute-many split:
+// it executes a compiled ExecPlan (see plan.go) against the node's
+// mutable state. All mutation is confined to the receiver node, so
+// distinct nodes may execute plans concurrently.
 
-// execState is the working set of one instruction execution.
-type execState struct {
-	n     *Node
-	in    *microcode.Instr
-	prods map[arch.SourceID]*producer
-	T     int
-}
-
-// Exec runs one microcode instruction to completion: decodes the
-// pipeline configuration, streams every cycle from 0 to the drain
-// point, commits sink writes and reduction registers, evaluates the
-// sequencer's comparison, raises interrupts, and accounts cycles,
-// stalls and FLOPs. The sequencer decision itself (next PC) is Run's
-// job.
+// Exec runs one microcode instruction to completion: streams every
+// cycle from 0 to the drain point, commits sink writes and reduction
+// registers, evaluates the sequencer's comparison, raises interrupts,
+// and accounts cycles and FLOPs. The instruction is decoded through
+// the node's plan cache, so iterative drivers that replay the same
+// instruction pay the decode cost exactly once. The sequencer decision
+// itself (next PC) is Run's job.
 func (n *Node) Exec(in *microcode.Instr) error {
-	cfg := n.Cfg
-	st := &execState{n: n, in: in, prods: map[arch.SourceID]*producer{}}
-
-	// --- Decode: which sources are live, and the vector length. ---
-	var vecLen int64
-	activeFU := make([]bool, cfg.TotalFUs)
-	fuLat := make([]int, cfg.TotalFUs)
-	for i := 0; i < cfg.TotalFUs; i++ {
-		op := in.FUOp(arch.FUID(i))
-		if !op.Valid() {
-			return fmt.Errorf("sim: fu%d has undefined opcode %d", i, op)
-		}
-		if op == arch.OpNop {
-			continue
-		}
-		if !n.Inv.FUs[i].Cap.Has(op.Info().Needs) {
-			return fmt.Errorf("sim: fu%d (%s) cannot perform %s: hardware fault trap",
-				i, n.Inv.FUs[i].Cap, op)
-		}
-		activeFU[i] = true
-		fuLat[i] = op.Info().Latency
-	}
-
-	type sinkJob struct {
-		snk   arch.SinkID
-		write func(e int64, v float64) error
-		start int
-		skip  int64
-		count int64
-	}
-	var sinks []sinkJob
-	var swaps []int
-
-	for p := 0; p < cfg.MemPlanes; p++ {
-		d := in.MemDMAOf(p)
-		if !d.Enable {
-			continue
-		}
-		if d.Write {
-			plane := n.Mem[p]
-			stride, addr := d.Stride, d.Addr
-			sinks = append(sinks, sinkJob{
-				snk:   cfg.SnkMemWrite(p),
-				start: d.Start, skip: d.Skip, count: d.Count,
-				write: func(e int64, v float64) error { return plane.Write(addr+e*stride, v) },
-			})
-		} else {
-			if err := st.addMemSource(p, d); err != nil {
-				return err
-			}
-			n.Stats.Elements += d.Count
-			if v := d.Skip + d.Count; v > vecLen {
-				vecLen = v
-			}
-		}
-	}
-	for p := 0; p < cfg.CachePlanes; p++ {
-		d := in.CacheDMAOf(p)
-		if !d.Enable {
-			continue
-		}
-		if d.Swap {
-			swaps = append(swaps, p)
-		}
-		if d.Write {
-			cache := n.Cache[p]
-			buf, stride, addr := d.Buf, d.Stride, d.Addr
-			sinks = append(sinks, sinkJob{
-				snk:   cfg.SnkCacheWrite(p),
-				start: d.Start, skip: d.Skip, count: d.Count,
-				write: func(e int64, v float64) error { return cache.Write(buf, addr+e*stride, v) },
-			})
-		} else {
-			if err := st.addCacheSource(p, d); err != nil {
-				return err
-			}
-			n.Stats.Elements += d.Count
-			if v := d.Skip + d.Count; v > vecLen {
-				vecLen = v
-			}
-		}
-	}
-	for _, s := range sinks {
-		if v := s.skip + s.count; v > vecLen {
-			vecLen = v
-		}
-	}
-	if vecLen == 0 {
-		// Pure control instruction: just issue overhead.
-		n.Stats.Instructions++
-		n.Stats.Cycles += int64(cfg.IssueOverheadCycles)
-		return n.finishInstr(in, 0)
-	}
-
-	// --- Structural depth: how long until the deepest producer has
-	// emitted its last meaningful value. ---
-	depth, err := st.structuralDepths(activeFU, fuLat)
+	pl, err := n.plan(in)
 	if err != nil {
 		return err
 	}
-	maxDepth := 0
-	for _, d := range depth {
-		if d > maxDepth {
-			maxDepth = d
-		}
-	}
-	for _, s := range sinks {
-		if need := s.start + int(s.skip+s.count); need > st.T {
-			st.T = need
-		}
-	}
-	if t := int(vecLen) + maxDepth; t > st.T {
-		st.T = t
-	}
+	return n.run(pl)
+}
 
-	// --- Allocate producer arrays and evaluate cycle by cycle. ---
-	if err := st.buildProducers(activeFU); err != nil {
+// ExecUncached is Exec without the plan cache: the instruction is
+// decoded afresh on every call. It exists to measure (and test) what
+// the cache buys; drivers should use Exec.
+func (n *Node) ExecUncached(in *microcode.Instr) error {
+	pl, err := compilePlan(n.Cfg, n.Inv, in)
+	if err != nil {
 		return err
 	}
-	if err := st.evaluate(activeFU, fuLat); err != nil {
+	return n.run(pl)
+}
+
+// run executes a compiled plan against the node state.
+func (n *Node) run(pl *ExecPlan) error {
+	cfg := n.Cfg
+	if pl.control {
+		// Pure control instruction: just issue overhead.
+		n.Stats.Instructions++
+		n.Stats.Cycles += int64(cfg.IssueOverheadCycles)
+		return n.finishInstr(pl.seq, pl.cmpTh)
+	}
+
+	sc := n.scratchFor(pl)
+	if err := n.evaluate(pl, sc); err != nil {
 		return err
 	}
 
 	// --- Commit sinks. ---
-	for _, s := range sinks {
-		src := in.SinkSource(s.snk)
-		if src == arch.InvalidSource {
-			return fmt.Errorf("sim: write DMA on %s has no switch route", cfg.SinkName(s.snk))
-		}
-		pr, ok := st.prods[src]
-		if !ok {
-			return fmt.Errorf("sim: sink %s routed from inactive source %s",
-				cfg.SinkName(s.snk), cfg.SourceName(src))
-		}
+	for _, s := range pl.sinks {
+		val := sc.val[s.from]
 		for j := int64(0); j < s.count; j++ {
 			c := s.start + int(s.skip+j)
 			var v float64
-			if c >= 0 && c < len(pr.val) {
-				v = pr.val[c]
+			if c >= 0 && c < len(val) {
+				v = val[c]
 			}
-			if err := s.write(j, v); err != nil {
+			var err error
+			if s.kind == srcMem {
+				err = n.Mem[s.plane].Write(s.addr+j*s.strd, v)
+			} else {
+				err = n.Cache[s.plane].Write(s.buf, s.addr+j*s.strd, v)
+			}
+			if err != nil {
 				return err
 			}
 		}
 	}
 
 	// --- Reduction registers. ---
-	for i := 0; i < cfg.TotalFUs; i++ {
-		if red, _ := in.FUReduce(arch.FUID(i)); red && activeFU[i] {
-			if pr, ok := st.prods[cfg.SrcFUOut(arch.FUID(i))]; ok && len(pr.val) > 0 {
-				n.RedReg[i] = pr.val[len(pr.val)-1]
-			}
+	for _, r := range pl.reduces {
+		if val := sc.val[r.from]; len(val) > 0 {
+			n.RedReg[r.fu] = val[len(val)-1]
 		}
 	}
 
@@ -194,29 +88,26 @@ func (n *Node) Exec(in *microcode.Instr) error {
 	// manifests as the extra copy instructions a bad variable layout
 	// forces (experiment P4), not as within-instruction stalls. ---
 	n.Stats.Instructions++
-	n.Stats.Cycles += int64(cfg.IssueOverheadCycles) + int64(st.T)
+	n.Stats.Cycles += int64(cfg.IssueOverheadCycles) + int64(pl.T)
+	n.Stats.Elements += pl.elements
 	if n.Stats.FUBusy == nil {
 		n.Stats.FUBusy = make([]int64, cfg.TotalFUs)
 	}
-	for i := 0; i < cfg.TotalFUs; i++ {
-		if activeFU[i] {
-			n.Stats.FLOPs += int64(in.FUOp(arch.FUID(i)).Info().FLOPs) * vecLen
-			n.Stats.FUBusy[i] += vecLen
-		}
+	for _, i := range pl.activeFU {
+		n.Stats.FUBusy[i] += pl.vecLen
 	}
+	n.Stats.FLOPs += pl.flopsPerElem * pl.vecLen
 
-	for _, p := range swaps {
+	for _, p := range pl.swaps {
 		n.Cache[p].Swap()
 	}
-	return n.finishInstr(in, int64(st.T))
+	return n.finishInstr(pl.seq, pl.cmpTh)
 }
 
 // finishInstr evaluates the sequencer comparison and interrupt.
-func (n *Node) finishInstr(in *microcode.Instr, drainCycle int64) error {
-	s := in.SeqOf()
+func (n *Node) finishInstr(s microcode.Seq, th float64) error {
 	if s.CmpEnable {
 		reg := n.RedReg[s.CmpFU]
-		th := in.Const(s.CmpConst)
 		var r bool
 		switch s.CmpOp {
 		case microcode.CmpLT:
@@ -234,175 +125,7 @@ func (n *Node) finishInstr(in *microcode.Instr, drainCycle int64) error {
 		n.IRQs = append(n.IRQs, Interrupt{Cycle: n.Stats.Cycles})
 	}
 	if s.CtrLoad {
-		n.Ctr[s.Ctr&3] = s.CtrValue
-	}
-	return nil
-}
-
-// addMemSource registers a memory read channel producer.
-func (st *execState) addMemSource(p int, d microcode.MemDMA) error {
-	plane := st.n.Mem[p]
-	// Bounds were the checker's job; the hardware traps on violation.
-	last := d.Addr + (d.Count-1)*d.Stride
-	lo, hi := d.Addr, last
-	if hi < lo {
-		lo, hi = hi, lo
-	}
-	if lo < 0 || hi >= st.n.Cfg.PlaneWords() {
-		return fmt.Errorf("sim: mem%d DMA range [%d,%d] out of plane", p, lo, hi)
-	}
-	st.prods[st.n.Cfg.SrcMemRead(p)] = &producer{
-		src: st.n.Cfg.SrcMemRead(p),
-	}
-	pr := st.prods[st.n.Cfg.SrcMemRead(p)]
-	pr.fill = func(c int) (float64, bool) {
-		e := int64(c) - d.Skip
-		if int64(c) >= d.Skip+d.Count {
-			return 0, false
-		}
-		if e < 0 {
-			return 0, true // suppressed lead-in reads as zero, valid
-		}
-		v, _ := plane.Read(d.Addr + e*d.Stride)
-		return v, true
-	}
-	return nil
-}
-
-// addCacheSource registers a cache read channel producer.
-func (st *execState) addCacheSource(p int, d microcode.CacheDMA) error {
-	cache := st.n.Cache[p]
-	if d.Addr < 0 || d.Addr+(d.Count-1)*d.Stride >= st.n.Cfg.CacheWords() || d.Addr+(d.Count-1)*d.Stride < 0 {
-		return fmt.Errorf("sim: cache%d DMA out of buffer", p)
-	}
-	pr := &producer{src: st.n.Cfg.SrcCacheRead(p)}
-	pr.fill = func(c int) (float64, bool) {
-		e := int64(c) - d.Skip
-		if int64(c) >= d.Skip+d.Count {
-			return 0, false
-		}
-		if e < 0 {
-			return 0, true
-		}
-		v, _ := cache.Read(d.Buf, d.Addr+e*d.Stride)
-		return v, true
-	}
-	st.prods[st.n.Cfg.SrcCacheRead(p)] = pr
-	return nil
-}
-
-// structuralDepths computes, per live producer, the cycle offset at
-// which its element stream begins (source = 0; SDU tap = in+1+tap;
-// FU = max(input depth + register delay) + latency).
-func (st *execState) structuralDepths(activeFU []bool, fuLat []int) (map[arch.SourceID]int, error) {
-	cfg := st.n.Cfg
-	depth := map[arch.SourceID]int{}
-	for s := range st.prods {
-		depth[s] = 0
-	}
-	// Iterate to fixpoint: a unit's depth resolves once every producer
-	// it consumes has resolved. The graph is finite, so at least one
-	// new resolution happens per pass until done; anything left
-	// unresolved afterwards is routed from an inactive source or sits
-	// on a routing cycle.
-	for {
-		changed := false
-		for u := 0; u < cfg.ShiftDelayUnits; u++ {
-			en, taps := st.in.SDUOf(u)
-			if !en {
-				continue
-			}
-			if _, done := depth[cfg.SrcSDUTap(u, 0)]; done {
-				continue
-			}
-			src := st.in.SinkSource(cfg.SnkSDUIn(u))
-			if src == arch.InvalidSource {
-				return nil, fmt.Errorf("sim: SDU%d enabled without an input route", u)
-			}
-			base, ok := depth[src]
-			if !ok {
-				continue // producer not resolved yet
-			}
-			for t, tapDelay := range taps {
-				depth[cfg.SrcSDUTap(u, t)] = base + 1 + tapDelay
-			}
-			changed = true
-		}
-		for i := 0; i < cfg.TotalFUs; i++ {
-			if !activeFU[i] {
-				continue
-			}
-			fu := arch.FUID(i)
-			if _, done := depth[cfg.SrcFUOut(fu)]; done {
-				continue
-			}
-			need, ready := 0, true
-			for side := 0; side < 2; side++ {
-				kind, _, hw := st.in.FUInput(fu, side)
-				if kind != microcode.InSwitch {
-					continue
-				}
-				src := st.in.SinkSource(cfg.SnkFUIn(fu, side))
-				if src == arch.InvalidSource {
-					return nil, fmt.Errorf("sim: fu%d side %d expects a switch operand but none routed", i, side)
-				}
-				d, ok := depth[src]
-				if !ok {
-					ready = false
-					break
-				}
-				if v := d + hw; v > need {
-					need = v
-				}
-			}
-			if !ready {
-				continue
-			}
-			depth[cfg.SrcFUOut(fu)] = need + fuLat[i]
-			changed = true
-		}
-		if !changed {
-			break
-		}
-	}
-	// Everything active must have resolved.
-	for u := 0; u < cfg.ShiftDelayUnits; u++ {
-		if en, _ := st.in.SDUOf(u); en {
-			if _, ok := depth[cfg.SrcSDUTap(u, 0)]; !ok {
-				src := st.in.SinkSource(cfg.SnkSDUIn(u))
-				return nil, fmt.Errorf("sim: SDU%d input routed from inactive source %s", u, cfg.SourceName(src))
-			}
-		}
-	}
-	for i := 0; i < cfg.TotalFUs; i++ {
-		if activeFU[i] {
-			if _, ok := depth[cfg.SrcFUOut(arch.FUID(i))]; !ok {
-				return nil, fmt.Errorf("sim: fu%d depends on an inactive source or a routing cycle", i)
-			}
-		}
-	}
-	return depth, nil
-}
-
-// buildProducers allocates value arrays for every live producer.
-func (st *execState) buildProducers(activeFU []bool) error {
-	cfg := st.n.Cfg
-	// SDU taps.
-	for u := 0; u < cfg.ShiftDelayUnits; u++ {
-		if en, _ := st.in.SDUOf(u); en {
-			for t := 0; t < cfg.SDUTaps; t++ {
-				st.prods[cfg.SrcSDUTap(u, t)] = &producer{src: cfg.SrcSDUTap(u, t)}
-			}
-		}
-	}
-	for i := 0; i < cfg.TotalFUs; i++ {
-		if activeFU[i] {
-			st.prods[cfg.SrcFUOut(arch.FUID(i))] = &producer{src: cfg.SrcFUOut(arch.FUID(i))}
-		}
-	}
-	for _, pr := range st.prods {
-		pr.val = make([]float64, st.T)
-		pr.ok = make([]bool, st.T)
+		n.Ctr[s.Ctr] = s.CtrValue
 	}
 	return nil
 }
@@ -411,130 +134,76 @@ func (st *execState) buildProducers(activeFU []bool) error {
 // functional unit has latency ≥ 1 and every SDU tap delays ≥ 1 cycle,
 // the value at cycle c depends only on values at cycles < c, so a
 // single pass over cycles suffices regardless of topology.
-func (st *execState) evaluate(activeFU []bool, fuLat []int) error {
-	cfg := st.n.Cfg
-	in := st.in
-	trapArmed := in.SeqOf().Trap
-
-	type fuPlan struct {
-		fu     arch.FUID
-		op     arch.Op
-		lat    int
-		aKind  microcode.InKind
-		aSrc   *producer
-		aDelay int
-		aConst float64
-		bKind  microcode.InKind
-		bSrc   *producer
-		bDelay int
-		bConst float64
-		reduce bool
-		acc    float64
-		accOK  bool
-		out    *producer
+func (n *Node) evaluate(pl *ExecPlan, sc *runScratch) error {
+	// Reduction accumulators are per-execution state, not plan state.
+	type redState struct {
+		acc   float64
+		accOK bool
 	}
-	type tapPlan struct {
-		in    *producer
-		out   *producer
-		shift int
-	}
-
-	var taps []tapPlan
-	for u := 0; u < cfg.ShiftDelayUnits; u++ {
-		en, tapDelays := in.SDUOf(u)
-		if !en {
-			continue
-		}
-		src := in.SinkSource(cfg.SnkSDUIn(u))
-		inPr := st.prods[src]
-		for t, d := range tapDelays {
-			taps = append(taps, tapPlan{in: inPr, out: st.prods[cfg.SrcSDUTap(u, t)], shift: 1 + d})
+	var reds []redState
+	for _, p := range pl.fus {
+		if p.reduce {
+			reds = append(reds, redState{acc: p.init})
 		}
 	}
 
-	var fus []*fuPlan
-	for i := 0; i < cfg.TotalFUs; i++ {
-		if !activeFU[i] {
-			continue
-		}
-		fu := arch.FUID(i)
-		p := &fuPlan{fu: fu, op: in.FUOp(fu), lat: fuLat[i], out: st.prods[cfg.SrcFUOut(fu)]}
-		ak, ac, ad := in.FUInput(fu, 0)
-		p.aKind, p.aDelay = ak, ad
-		switch ak {
-		case microcode.InSwitch:
-			p.aSrc = st.prods[in.SinkSource(cfg.SnkFUIn(fu, 0))]
-		case microcode.InConst:
-			p.aConst = in.Const(ac)
-		}
-		bk, bc, bd := in.FUInput(fu, 1)
-		p.bKind, p.bDelay = bk, bd
-		switch bk {
-		case microcode.InSwitch:
-			p.bSrc = st.prods[in.SinkSource(cfg.SnkFUIn(fu, 1))]
-		case microcode.InConst:
-			p.bConst = in.Const(bc)
-		}
-		if red, init := in.FUReduce(fu); red {
-			p.reduce = true
-			p.acc = in.Const(init)
-		}
-		if p.op.Info().Arity >= 1 && p.aKind == microcode.InNone {
-			return fmt.Errorf("sim: fu%d (%s) operand A unconnected", i, p.op)
-		}
-		if p.op.Info().Arity >= 2 && !p.reduce && p.bKind == microcode.InNone {
-			return fmt.Errorf("sim: fu%d (%s) operand B unconnected", i, p.op)
-		}
-		fus = append(fus, p)
-	}
-
-	// Sources first at each cycle, then taps and FUs (which only look
-	// backwards in time).
-	var sources []*producer
-	for _, pr := range st.prods {
-		if pr.fill != nil {
-			sources = append(sources, pr)
-		}
-	}
-
-	sample := func(pr *producer, c int) (float64, bool) {
-		if pr == nil || c < 0 || c >= len(pr.val) {
+	sample := func(slot, c int) (float64, bool) {
+		if slot < 0 || c < 0 || c >= pl.T {
 			return 0, false
 		}
-		return pr.val[c], pr.ok[c]
+		return sc.val[slot][c], sc.ok[slot][c]
 	}
 
-	tracer := st.n.Tracer
-	for c := 0; c < st.T; c++ {
-		for _, pr := range sources {
-			pr.val[c], pr.ok[c] = pr.fill(c)
+	tracer := n.Tracer
+	for c := 0; c < pl.T; c++ {
+		for _, s := range pl.sources {
+			var v float64
+			ok := true
+			e := int64(c) - s.skip
+			switch {
+			case int64(c) >= s.skip+s.count:
+				ok = false
+			case e < 0:
+				// suppressed lead-in reads as zero, valid
+			case s.kind == srcMem:
+				v, _ = n.Mem[s.plane].Read(s.addr + e*s.strd)
+			default:
+				v, _ = n.Cache[s.plane].Read(s.buf, s.addr+e*s.strd)
+			}
+			sc.val[s.slot][c], sc.ok[s.slot][c] = v, ok
 			if tracer != nil {
-				tracer(pr.src, c, pr.val[c], pr.ok[c])
+				tracer(pl.srcID[s.slot], c, v, ok)
 			}
 		}
-		for _, tp := range taps {
-			tp.out.val[c], tp.out.ok[c] = sample(tp.in, c-tp.shift)
+		for _, tp := range pl.taps {
+			v, ok := sample(tp.in, c-tp.shift)
+			sc.val[tp.out][c], sc.ok[tp.out][c] = v, ok
 			if tracer != nil {
-				tracer(tp.out.src, c, tp.out.val[c], tp.out.ok[c])
+				tracer(pl.srcID[tp.out], c, v, ok)
 			}
 		}
-		for _, p := range fus {
+		ri := 0
+		for k := range pl.fus {
+			p := &pl.fus[k]
 			var a, b float64
 			var aOK, bOK bool
 			switch p.aKind {
 			case microcode.InSwitch:
-				a, aOK = sample(p.aSrc, c-p.lat-p.aDelay)
+				a, aOK = sample(p.aSlot, c-p.lat-p.aDelay)
 			case microcode.InConst:
 				a, aOK = p.aConst, true
 			default:
 				aOK = true
 			}
+			var red *redState
 			if p.reduce {
-				b, bOK = p.acc, true
+				red = &reds[ri]
+				ri++
+				b, bOK = red.acc, true
 			} else {
 				switch p.bKind {
 				case microcode.InSwitch:
-					b, bOK = sample(p.bSrc, c-p.lat-p.bDelay)
+					b, bOK = sample(p.bSlot, c-p.lat-p.bDelay)
 				case microcode.InConst:
 					b, bOK = p.bConst, true
 				default:
@@ -542,26 +211,26 @@ func (st *execState) evaluate(activeFU []bool, fuLat []int) error {
 				}
 			}
 			valid := aOK && bOK
-			if p.op.Info().Arity == 0 {
+			if p.arity == 0 {
 				valid = true
 			}
 			v := apply(p.op, a, b)
 			if p.reduce {
 				if aOK {
-					p.acc = v
-					p.accOK = true
+					red.acc = v
+					red.accOK = true
 				}
-				p.out.val[c], p.out.ok[c] = p.acc, p.accOK
+				sc.val[p.out][c], sc.ok[p.out][c] = red.acc, red.accOK
 			} else {
-				p.out.val[c], p.out.ok[c] = v, valid
+				sc.val[p.out][c], sc.ok[p.out][c] = v, valid
 			}
-			if trapArmed && valid && (math.IsNaN(v) || math.IsInf(v, 0)) {
-				st.n.IRQs = append(st.n.IRQs, Interrupt{Cycle: st.n.Stats.Cycles + int64(c)})
+			if pl.trapArmed && valid && (math.IsNaN(v) || math.IsInf(v, 0)) {
+				n.IRQs = append(n.IRQs, Interrupt{Cycle: n.Stats.Cycles + int64(c)})
 				return fmt.Errorf("sim: fu%d (%s) raised a floating-point exception at cycle %d (trap armed)",
 					p.fu, p.op, c)
 			}
 			if tracer != nil {
-				tracer(p.out.src, c, p.out.val[c], p.out.ok[c])
+				tracer(pl.srcID[p.out], c, sc.val[p.out][c], sc.ok[p.out][c])
 			}
 		}
 	}

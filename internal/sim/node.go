@@ -159,9 +159,19 @@ type Node struct {
 	Flags  uint16
 	RedReg []float64
 	// Ctr holds the sequencer's loop counters (CondLoop decrements).
-	Ctr   [4]int64
+	// Counter indices are validated at decode time; no wrapping.
+	Ctr   [microcode.NumCounters]int64
 	IRQs  []Interrupt
 	Stats Stats
+
+	// plans is the decoded-instruction cache: instruction bit pattern →
+	// compiled ExecPlan, with hit/miss accounting. scratch holds the
+	// reusable per-plan working sets of the run layer. Both are
+	// node-private, keeping concurrent multi-node execution free of
+	// shared mutable state.
+	plans                map[string]*ExecPlan
+	scratch              map[*ExecPlan]*runScratch
+	planHits, planMisses int64
 
 	// Tracer, when non-nil, observes every value each producing port
 	// emits during Exec. It powers the paper's proposed debugging

@@ -62,8 +62,10 @@ func (n *Node) Run(p *microcode.Program, maxInstrs int64) (RunResult, error) {
 				pc = s.Next
 			}
 		case microcode.CondLoop:
-			n.Ctr[s.Ctr&3]--
-			if n.Ctr[s.Ctr&3] > 0 {
+			// Validate() has already rejected out-of-range counter
+			// indices, so direct indexing is safe here.
+			n.Ctr[s.Ctr]--
+			if n.Ctr[s.Ctr] > 0 {
 				pc = s.Branch
 			} else {
 				pc = s.Next

@@ -132,8 +132,8 @@ dma Mv wr var=v stride=1 count=512
 func TestDocumentedArchitectureClaims(t *testing.T) {
 	cfg := arch.Default()
 	f := microcode.MustFormat(cfg)
-	if f.Bits != 5291 {
-		t.Errorf("instruction width %d bits; README/EXPERIMENTS say 5291 — update the docs", f.Bits)
+	if f.Bits != 5292 {
+		t.Errorf("instruction width %d bits; README/EXPERIMENTS say 5292 — update the docs", f.Bits)
 	}
 	if n := f.NumFields(); n != 682 {
 		t.Errorf("field count %d; docs say 682", n)
