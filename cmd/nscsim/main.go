@@ -5,6 +5,7 @@
 // Usage:
 //
 //	nscsim [-subset] -prog prog.nscm [-max n] [-par n] [-load plane:addr:file] [-dump plane:addr:count]
+//	nscsim -jacobi n [-cube d] [-sweeps n] [-faults spec] [-checkpoint-every n] [-checkpoint file] [-restore file]
 //
 // -load fills a memory plane from a whitespace-separated list of
 // float64 values before the run; -dump prints plane contents after.
@@ -15,18 +16,30 @@
 // includes the decoded-instruction (plan) cache counters: with the
 // decode-once engine, looping programs compile each distinct
 // instruction once and replay the compiled pipeline configuration.
+//
+// -jacobi n switches to the multi-node driver: it solves the paper's
+// n×n model Poisson problem on a 2^d-node hypercube (-cube d), two
+// interior planes per node. -sweeps fixes the sweep count (0 runs to
+// convergence). -faults arms a deterministic fault plan (see
+// hypercube.ParseFaultPlan for the syntax: either an event list like
+// "dispatch:kill@2:1:repeat=2" or "seed@S:sweeps=N:ranks=P:events=K"),
+// -checkpoint-every snapshots the solve at sweep boundaries,
+// -checkpoint persists the latest snapshot to a file, and -restore
+// resumes a solve from one.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/hypercube"
+	"repro/internal/jacobi"
 	"repro/internal/microcode"
 	"repro/internal/sim"
 )
@@ -37,56 +50,90 @@ func (m *multi) String() string     { return strings.Join(*m, ",") }
 func (m *multi) Set(s string) error { *m = append(*m, s); return nil }
 
 func main() {
-	subset := flag.Bool("subset", false, "use the simplified architectural subset model")
-	progPath := flag.String("prog", "", "microcode program to execute")
-	max := flag.Int64("max", 0, "instruction budget (0 = default)")
-	par := flag.Int("par", 1, "run the program on this many nodes concurrently (SPMD)")
-	var loads, dumps multi
-	flag.Var(&loads, "load", "plane:addr:file — preload plane data")
-	flag.Var(&dumps, "dump", "plane:addr:count — print plane words after the run")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *progPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: nscsim -prog prog.nscm [-par n] [-load plane:addr:file] [-dump plane:addr:count]")
-		os.Exit(2)
+// run is the testable entry point: it parses args, executes, and
+// writes the report to stdout. Returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nscsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	subset := fs.Bool("subset", false, "use the simplified architectural subset model")
+	progPath := fs.String("prog", "", "microcode program to execute")
+	max := fs.Int64("max", 0, "instruction budget (0 = default)")
+	par := fs.Int("par", 1, "run the program on this many nodes concurrently (SPMD)")
+	jacobiN := fs.Int("jacobi", 0, "solve the n×n model problem on the hypercube driver")
+	cubeDim := fs.Int("cube", 0, "hypercube dimension for -jacobi (2^d nodes)")
+	sweeps := fs.Int("sweeps", 0, "fixed sweep count for -jacobi (0 = run to convergence)")
+	faults := fs.String("faults", "", "fault plan for -jacobi (event list or seed@... form)")
+	ckEvery := fs.Int("checkpoint-every", 0, "snapshot the -jacobi solve every n sweeps")
+	ckPath := fs.String("checkpoint", "", "persist the latest -jacobi snapshot to this file")
+	restore := fs.String("restore", "", "resume the -jacobi solve from this snapshot file")
+	var loads, dumps multi
+	fs.Var(&loads, "load", "plane:addr:file — preload plane data")
+	fs.Var(&dumps, "dump", "plane:addr:count — print plane words after the run")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	if *par < 1 {
-		fatal(fmt.Errorf("-par %d: need at least one node", *par))
-	}
+
 	cfg := arch.Default()
 	if *subset {
 		cfg = arch.Subset()
+	}
+	if *jacobiN > 0 {
+		err := runJacobi(stdout, cfg, *jacobiN, *cubeDim, *sweeps, *faults, *ckEvery, *ckPath, *restore)
+		if err != nil {
+			fmt.Fprintln(stderr, "nscsim:", err)
+			return 1
+		}
+		return 0
+	}
+
+	if *progPath == "" {
+		fmt.Fprintln(stderr, "usage: nscsim -prog prog.nscm [-par n] [-load plane:addr:file] [-dump plane:addr:count]")
+		fmt.Fprintln(stderr, "       nscsim -jacobi n [-cube d] [-sweeps n] [-faults spec] [-checkpoint-every n] [-restore file]")
+		return 2
+	}
+	if *par < 1 {
+		fmt.Fprintf(stderr, "nscsim: -par %d: need at least one node\n", *par)
+		return 1
 	}
 	nodes := make([]*sim.Node, *par)
 	for i := range nodes {
 		n, err := sim.NewNode(cfg)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "nscsim:", err)
+			return 1
 		}
 		nodes[i] = n
 	}
 	f, err := os.Open(*progPath)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "nscsim:", err)
+		return 1
 	}
 	prog, err := microcode.ReadProgram(f, nodes[0].F)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "nscsim:", err)
+		return 1
 	}
 
 	for _, l := range loads {
 		plane, addr, path, err := splitRef(l)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "nscsim:", err)
+			return 1
 		}
 		vals, err := readFloats(path)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "nscsim:", err)
+			return 1
 		}
 		for _, n := range nodes {
 			if err := n.WriteWords(plane, addr, vals); err != nil {
-				fatal(err)
+				fmt.Fprintln(stderr, "nscsim:", err)
+				return 1
 			}
 		}
 	}
@@ -102,7 +149,8 @@ func main() {
 		}
 		return nil
 	}); err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "nscsim:", err)
+		return 1
 	}
 
 	node, res := nodes[0], results[0]
@@ -114,35 +162,105 @@ func main() {
 				agree++
 			}
 		}
-		fmt.Printf("%d nodes ran the program concurrently; %d/%d report identical outcomes\n",
+		fmt.Fprintf(stdout, "%d nodes ran the program concurrently; %d/%d report identical outcomes\n",
 			*par, agree, *par)
 	}
-	fmt.Printf("executed %d instruction(s), halted at pc %d\n", res.Executed, res.FinalPC)
-	fmt.Printf("cycles %d (%.3f ms at %.0f MHz)  FLOPs %d  %.1f MFLOPS  interrupts %d  flags %016b\n",
+	fmt.Fprintf(stdout, "executed %d instruction(s), halted at pc %d\n", res.Executed, res.FinalPC)
+	fmt.Fprintf(stdout, "cycles %d (%.3f ms at %.0f MHz)  FLOPs %d  %.1f MFLOPS  interrupts %d  flags %016b\n",
 		st.Cycles, st.Seconds(cfg.ClockHz)*1e3, cfg.ClockHz/1e6, st.FLOPs, st.MFLOPS(cfg.ClockHz), len(node.IRQs), node.Flags)
 	pc := node.PlanCacheStats()
-	fmt.Printf("plan cache: %d compiled, %d hits, %d misses (decode-once engine)\n",
+	fmt.Fprintf(stdout, "plan cache: %d compiled, %d hits, %d misses (decode-once engine)\n",
 		pc.Entries, pc.Hits, pc.Misses)
 
 	for _, d := range dumps {
 		plane, addr, countStr, err := splitRef(d)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "nscsim:", err)
+			return 1
 		}
 		count, err := strconv.Atoi(countStr)
 		if err != nil {
-			fatal(fmt.Errorf("dump count: %w", err))
+			fmt.Fprintf(stderr, "nscsim: dump count: %v\n", err)
+			return 1
 		}
 		vals, err := node.ReadWords(plane, addr, count)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "nscsim:", err)
+			return 1
 		}
-		fmt.Printf("plane %d @%d:", plane, addr)
+		fmt.Fprintf(stdout, "plane %d @%d:", plane, addr)
 		for _, v := range vals {
-			fmt.Printf(" %g", v)
+			fmt.Fprintf(stdout, " %g", v)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
+	return 0
+}
+
+// runJacobi drives the multi-node solver with the robustness knobs.
+func runJacobi(stdout io.Writer, cfg arch.Config, n, dim, sweeps int,
+	faultSpec string, ckEvery int, ckPath, restore string) error {
+	m, err := hypercube.New(cfg, dim)
+	if err != nil {
+		return err
+	}
+	m.Workers = -1
+	m.StopAfter = sweeps
+	m.CheckpointEvery = ckEvery
+	if faultSpec != "" {
+		plan, err := hypercube.ParseFaultPlan(faultSpec)
+		if err != nil {
+			return err
+		}
+		m.Faults = plan
+	}
+	if ckPath != "" {
+		if ckEvery == 0 {
+			m.CheckpointEvery = 8
+		}
+		m.CheckpointSink = func(ck *hypercube.Checkpoint) error {
+			return hypercube.SaveCheckpointFile(ckPath, ck)
+		}
+	}
+	if restore != "" {
+		ck, err := hypercube.LoadCheckpointFile(restore)
+		if err != nil {
+			return err
+		}
+		m.Restore = ck
+	}
+
+	// The model problem: n×n planes, two interior planes per node, unit
+	// source, homogeneous boundary — the parallel driver's test shape.
+	g := jacobi.NewModelProblem(n, 1e-4, 400)
+	g.Nz = 2*m.P() + 2
+	g.F = make([]float64, g.Cells())
+	g.U0 = make([]float64, g.Cells())
+	g.Mask = make([]float64, g.Cells())
+	for k := 0; k < g.Nz; k++ {
+		for j := 0; j < g.N; j++ {
+			for i := 0; i < g.N; i++ {
+				idx := g.Index(i, j, k)
+				g.F[idx] = 1
+				if i > 0 && i < g.N-1 && j > 0 && j < g.N-1 && k > 0 && k < g.Nz-1 {
+					g.Mask[idx] = 1
+				}
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "hypercube: %d node(s) (dim %d), grid %d×%d×%d, %d plane(s) per node\n",
+		m.P(), m.Dim, g.N, g.N, g.Nz, (g.Nz-2)/m.P())
+	res, err := m.SolveJacobi(g)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "jacobi: %d sweep(s), converged %v, residual %g\n",
+		res.Iterations, res.Converged, res.Residual)
+	fmt.Fprintf(stdout, "cycles: machine %d, comm %d\n", m.MachineCycles, m.CommCycles)
+	fmt.Fprintf(stdout, "plan cache: %d compiled, %d hits, %d misses (decode-once engine)\n",
+		res.PlanCache.Entries, res.PlanCache.Hits, res.PlanCache.Misses)
+	fmt.Fprintf(stdout, "faults: %s\n", res.Faults)
+	return nil
 }
 
 // statsEqual compares Stats field by field, including the per-unit
@@ -193,9 +311,4 @@ func readFloats(path string) ([]float64, error) {
 		vals = append(vals, v)
 	}
 	return vals, sc.Err()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "nscsim:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// runCLI invokes the in-process entry point and returns its output.
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), code
+}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting
+// the file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (re-run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output does not match %s (re-run with -update to regenerate):\n got:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// TestJacobiGoldenClean pins the text report of a clean fixed-sweep
+// multi-node solve. The simulation is fully deterministic, so the
+// output is stable to the byte.
+func TestJacobiGoldenClean(t *testing.T) {
+	stdout, stderr, code := runCLI(t, "-jacobi", "8", "-cube", "1", "-sweeps", "6")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	checkGolden(t, "clean", stdout)
+}
+
+// TestJacobiGoldenFaulted pins the report of a faulted run: injected
+// kills and a stall, retry/backoff accounting and sweep-boundary
+// checkpoints — with the same solve outcome as the clean run.
+func TestJacobiGoldenFaulted(t *testing.T) {
+	stdout, stderr, code := runCLI(t,
+		"-jacobi", "8", "-cube", "1", "-sweeps", "6",
+		"-faults", "dispatch:kill@2:1:repeat=2,exchange:stall@3:0:stall=500",
+		"-checkpoint-every", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	checkGolden(t, "faulted", stdout)
+
+	// The faulted run's solve line must equal the clean run's: faults
+	// cost cycles, never accuracy.
+	clean, _, _ := runCLI(t, "-jacobi", "8", "-cube", "1", "-sweeps", "6")
+	if jacobiLine(stdout) != jacobiLine(clean) {
+		t.Errorf("faulted solve diverged:\n%s\n%s", jacobiLine(stdout), jacobiLine(clean))
+	}
+}
+
+// TestJacobiCheckpointRestartCLI: -checkpoint persists a snapshot and
+// -restore resumes from it to the identical solve report.
+func TestJacobiCheckpointRestartCLI(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "solve.ckpt")
+	full, stderr, code := runCLI(t,
+		"-jacobi", "8", "-cube", "1", "-sweeps", "6", "-checkpoint-every", "2", "-checkpoint", ck)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+	resumed, stderr, code := runCLI(t,
+		"-jacobi", "8", "-cube", "1", "-sweeps", "6", "-restore", ck)
+	if code != 0 {
+		t.Fatalf("restore exit %d, stderr: %s", code, stderr)
+	}
+	if jacobiLine(resumed) != jacobiLine(full) {
+		t.Errorf("restored solve diverged:\n%s\n%s", jacobiLine(resumed), jacobiLine(full))
+	}
+	if !strings.Contains(resumed, "restores=0") {
+		t.Errorf("unexpected restore counters:\n%s", resumed)
+	}
+}
+
+func TestJacobiBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-jacobi", "8", "-faults", "teleport:kill@1:0"}, // bad fault spec
+		{"-jacobi", "8", "-restore", "/nonexistent/ck"},  // missing snapshot
+		{},                             // no mode selected
+		{"-prog", "/nonexistent.nscm"}, // missing program
+	} {
+		if _, _, code := runCLI(t, args...); code == 0 {
+			t.Errorf("args %v: exit 0, want failure", args)
+		}
+	}
+}
+
+// jacobiLine extracts the solve-outcome line from a report.
+func jacobiLine(out string) string {
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "jacobi:") {
+			return line
+		}
+	}
+	return ""
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/diagram"
 	"repro/internal/editor"
+	"repro/internal/hypercube"
 	"repro/internal/microcode"
 	"repro/internal/render"
 	"repro/internal/sim"
@@ -30,6 +31,9 @@ type Environment struct {
 	Ed   *editor.Editor
 	Gen  *codegen.Generator
 	Node *sim.Node
+	// Cube is the session's multi-node machine, built on demand by
+	// Hypercube. Nil until a multi-node solve is requested.
+	Cube *hypercube.Machine
 }
 
 // New creates an environment for the given machine description.
@@ -84,6 +88,32 @@ func (env *Environment) Execute(p *microcode.Program, maxInstrs int64) (sim.RunR
 // configuration instead of re-deriving it from the microcode word.
 func (env *Environment) PlanCacheStats() sim.PlanCacheStats {
 	return env.Node.PlanCacheStats()
+}
+
+// Hypercube returns the session's multi-node machine, building a
+// 2^dim-node cube on first use (or when the dimension changes). The
+// machine keeps its fault plan, retry policy and checkpoint settings
+// across solves, so a session configures robustness once.
+func (env *Environment) Hypercube(dim int) (*hypercube.Machine, error) {
+	if env.Cube != nil && env.Cube.Dim == dim {
+		return env.Cube, nil
+	}
+	m, err := hypercube.New(env.Cfg, dim)
+	if err != nil {
+		return nil, err
+	}
+	env.Cube = m
+	return m, nil
+}
+
+// FaultStats reports the cumulative fault/recovery counters of the
+// session's multi-node machine (zero when no cube was ever built or no
+// faults were injected).
+func (env *Environment) FaultStats() hypercube.FaultStats {
+	if env.Cube == nil {
+		return hypercube.FaultStats{}
+	}
+	return env.Cube.FaultCounters
 }
 
 // BuildAndRun is the complete Figure 3 workflow: edit, check, generate,

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/hypercube"
 	"repro/internal/jacobi"
 )
 
@@ -190,4 +191,62 @@ func TestNewRejectsBadConfig(t *testing.T) {
 		}
 	}()
 	MustNew(cfg)
+}
+
+// TestHypercubeSession: the environment builds the multi-node machine
+// on demand, caches it per dimension, and surfaces its cumulative
+// fault counters.
+func TestHypercubeSession(t *testing.T) {
+	env := MustNew(arch.Default())
+	if env.FaultStats() != (hypercube.FaultStats{}) {
+		t.Error("fresh session has fault counters")
+	}
+	m, err := env.Hypercube(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.P() != 4 {
+		t.Fatalf("P = %d", m.P())
+	}
+	again, err := env.Hypercube(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != m {
+		t.Error("same dimension rebuilt the machine")
+	}
+	if _, err := env.Hypercube(20); err == nil {
+		t.Error("dimension 20 accepted")
+	}
+
+	// Run a faulted solve through the session machine; its counters
+	// show up in the environment.
+	m.Faults = hypercube.MustFaultPlan(hypercube.FaultEvent{
+		Sweep: 1, Phase: hypercube.PhaseDispatch, Rank: 0, Kind: hypercube.FaultKill, Repeat: 2})
+	g := jacobi.NewModelProblem(8, 1e-4, 400)
+	g.Nz = 10 // 8 interior planes over 4 nodes
+	g.F = make([]float64, g.Cells())
+	g.U0 = make([]float64, g.Cells())
+	g.Mask = make([]float64, g.Cells())
+	for k := 0; k < g.Nz; k++ {
+		for j := 0; j < g.N; j++ {
+			for i := 0; i < g.N; i++ {
+				idx := g.Index(i, j, k)
+				g.F[idx] = 1
+				if i > 0 && i < g.N-1 && j > 0 && j < g.N-1 && k > 0 && k < g.Nz-1 {
+					g.Mask[idx] = 1
+				}
+			}
+		}
+	}
+	res, err := m.SolveJacobi(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Kills != 2 {
+		t.Errorf("solve counters %+v, want 2 kills", res.Faults)
+	}
+	if env.FaultStats() != res.Faults {
+		t.Errorf("environment counters %+v != solve counters %+v", env.FaultStats(), res.Faults)
+	}
 }

@@ -1,0 +1,209 @@
+package hypercube
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/sim"
+)
+
+// Sweep-boundary checkpointing: at the top of a sweep the only state a
+// resumed solve needs is each node's u and v planes (ghost planes
+// included — parity decides which plane the next sweep reads), the
+// sweep index, the convergence history, the machine's cycle clocks and
+// the fault machinery's counters. F and mask planes are rebuilt from
+// the Problem on restore, so snapshots stay proportional to the
+// iterate, not the whole working set. Restoring a snapshot provably
+// resumes to bit-identical results versus an uninterrupted run (see
+// checkpoint_test.go): the iterate planes are copied word-for-word and
+// every downstream arithmetic step is deterministic.
+
+// checkpointMagic identifies the on-disk snapshot format, version 1.
+const checkpointMagic = "NSCCKPT1"
+
+// Checkpoint is one sweep-boundary snapshot of a multi-node solve.
+type Checkpoint struct {
+	// Sweep is the iteration index the resumed solve executes next.
+	Sweep int
+	// Shape guard: node count, global N/Nz, planes per node.
+	P, N, Nz, Slab int
+	// Residuals is the combined residual history up to Sweep.
+	Residuals []float64
+	// MachineCycles/CommCycles are the machine clocks at the boundary;
+	// simulated time keeps moving forward across a restart.
+	MachineCycles, CommCycles int64
+	// Faults and PlanCache carry the counters accumulated before the
+	// snapshot, so a run restored in a fresh process reports totals.
+	Faults    FaultStats
+	PlanCache sim.PlanCacheStats
+	// FaultFired is the fault plan's per-event firing counters: a
+	// restored run does not re-suffer faults it already survived.
+	FaultFired []int64
+	// U and V hold, per ring rank, the full local iterate planes
+	// ((Slab+2)·N² words each, ghosts included).
+	U, V [][]float64
+}
+
+// planeWords returns the per-node iterate size.
+func (ck *Checkpoint) planeWords() int { return (ck.Slab + 2) * ck.N * ck.N }
+
+// compatible checks a snapshot against a solve's decomposition.
+func (ck *Checkpoint) compatible(p, n, nz, slab int) error {
+	if ck.P != p || ck.N != n || ck.Nz != nz || ck.Slab != slab {
+		return fmt.Errorf("hypercube: checkpoint shape P=%d N=%d Nz=%d slab=%d does not match solve P=%d N=%d Nz=%d slab=%d",
+			ck.P, ck.N, ck.Nz, ck.Slab, p, n, nz, slab)
+	}
+	if len(ck.U) != p || len(ck.V) != p {
+		return fmt.Errorf("hypercube: checkpoint holds %d/%d node grids, want %d", len(ck.U), len(ck.V), p)
+	}
+	for r := 0; r < p; r++ {
+		if len(ck.U[r]) != ck.planeWords() || len(ck.V[r]) != ck.planeWords() {
+			return fmt.Errorf("hypercube: checkpoint rank %d grid has %d/%d words, want %d",
+				r, len(ck.U[r]), len(ck.V[r]), ck.planeWords())
+		}
+	}
+	return nil
+}
+
+// WriteTo serializes the snapshot: the magic string, then every scalar
+// and slice as little-endian 64-bit words (float64s by bit pattern, so
+// restored grids are bit-identical).
+func (ck *Checkpoint) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	put := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+			n += int64(binary.Size(v))
+		}
+		return nil
+	}
+	if _, err := bw.WriteString(checkpointMagic); err != nil {
+		return n, err
+	}
+	n += int64(len(checkpointMagic))
+	err := put(
+		int64(ck.Sweep), int64(ck.P), int64(ck.N), int64(ck.Nz), int64(ck.Slab),
+		ck.MachineCycles, ck.CommCycles,
+		ck.Faults,
+		ck.PlanCache.Hits, ck.PlanCache.Misses, int64(ck.PlanCache.Entries),
+		int64(len(ck.Residuals)), ck.Residuals,
+		int64(len(ck.FaultFired)), ck.FaultFired,
+	)
+	if err != nil {
+		return n, err
+	}
+	for r := 0; r < ck.P; r++ {
+		if err := put(ck.U[r], ck.V[r]); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadCheckpoint deserializes a snapshot written by WriteTo.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("hypercube: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return nil, fmt.Errorf("hypercube: not a checkpoint (magic %q)", magic)
+	}
+	get := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	ck := &Checkpoint{}
+	var sweep, p, n, nz, slab, entries, nres, nfired int64
+	var hits, misses int64
+	if err := get(&sweep, &p, &n, &nz, &slab, &ck.MachineCycles, &ck.CommCycles,
+		&ck.Faults, &hits, &misses, &entries, &nres); err != nil {
+		return nil, fmt.Errorf("hypercube: reading checkpoint header: %w", err)
+	}
+	ck.Sweep, ck.P, ck.N, ck.Nz, ck.Slab = int(sweep), int(p), int(n), int(nz), int(slab)
+	ck.PlanCache = sim.PlanCacheStats{Hits: hits, Misses: misses, Entries: int(entries)}
+	const maxSane = 1 << 30
+	if p < 0 || p > 1<<10 || n < 0 || n > maxSane || nz < 0 || nz > maxSane ||
+		slab < 0 || slab > maxSane || nres < 0 || nres > maxSane ||
+		int64(ck.planeWords()) > maxSane {
+		return nil, fmt.Errorf("hypercube: checkpoint header out of range (P=%d N=%d Nz=%d slab=%d)", p, n, nz, slab)
+	}
+	// Empty blocks stay nil so a round trip reproduces the original
+	// struct exactly.
+	if nres > 0 {
+		ck.Residuals = make([]float64, nres)
+	}
+	if err := get(ck.Residuals, &nfired); err != nil {
+		return nil, fmt.Errorf("hypercube: reading checkpoint residuals: %w", err)
+	}
+	if nfired < 0 || nfired > maxSane {
+		return nil, fmt.Errorf("hypercube: checkpoint fired-counter count %d out of range", nfired)
+	}
+	if nfired > 0 {
+		ck.FaultFired = make([]int64, nfired)
+		if err := get(ck.FaultFired); err != nil {
+			return nil, fmt.Errorf("hypercube: reading checkpoint fault counters: %w", err)
+		}
+	}
+	words := ck.planeWords()
+	for r := 0; r < ck.P; r++ {
+		u := make([]float64, words)
+		v := make([]float64, words)
+		if err := get(u, v); err != nil {
+			return nil, fmt.Errorf("hypercube: reading checkpoint rank %d grids: %w", r, err)
+		}
+		ck.U = append(ck.U, u)
+		ck.V = append(ck.V, v)
+	}
+	return ck, nil
+}
+
+// SaveCheckpointFile writes the snapshot to path atomically (write to
+// a temp file in the same directory, then rename).
+func SaveCheckpointFile(path string, ck *Checkpoint) error {
+	f, err := os.CreateTemp(dirOf(path), ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := ck.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCheckpointFile reads a snapshot written by SaveCheckpointFile.
+func LoadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i+1]
+		}
+	}
+	return "."
+}

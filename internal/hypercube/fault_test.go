@@ -1,0 +1,432 @@
+package hypercube
+
+import (
+	"errors"
+	"testing"
+)
+
+// solveWith runs the 4-node model problem with the given fault setup.
+func solveWith(t *testing.T, workers int, plan *FaultPlan, every int) (*JacobiResult, *Machine, error) {
+	t.Helper()
+	m, err := New(smallCfg(), 2) // 4 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Workers = workers
+	m.Faults = plan
+	m.CheckpointEvery = every
+	res, err := m.SolveJacobi(parallelProblem(m.P()))
+	return res, m, err
+}
+
+// assertSameSolve checks the observables recovery must preserve: the
+// solution grid, the residual history and the iteration trajectory,
+// all bit for bit.
+func assertSameSolve(t *testing.T, got, want *JacobiResult) {
+	t.Helper()
+	if got.Iterations != want.Iterations || got.Converged != want.Converged {
+		t.Fatalf("trajectory: %d/%v vs clean %d/%v",
+			got.Iterations, got.Converged, want.Iterations, want.Converged)
+	}
+	if len(got.ResidualSeries) != len(want.ResidualSeries) {
+		t.Fatalf("residual series %d vs %d entries", len(got.ResidualSeries), len(want.ResidualSeries))
+	}
+	for i := range want.ResidualSeries {
+		if got.ResidualSeries[i] != want.ResidualSeries[i] {
+			t.Fatalf("residual[%d] = %g vs %g", i, got.ResidualSeries[i], want.ResidualSeries[i])
+		}
+	}
+	for i := range want.U {
+		if got.U[i] != want.U[i] {
+			t.Fatalf("u[%d] = %g vs %g", i, got.U[i], want.U[i])
+		}
+	}
+}
+
+type faultOutcome int
+
+const (
+	// retriedOK: the fault clears within the attempt budget (stalls are
+	// absorbed outright) and the solve completes without a restore.
+	retriedOK faultOutcome = iota
+	// restoredOK: the attempt budget exhausts, the solve rolls back to a
+	// checkpoint and completes on re-execution.
+	restoredOK
+	// exhausted: the budget exhausts with no checkpoint to restore;
+	// SolveJacobi surfaces a BudgetError.
+	exhausted
+)
+
+// TestFaultMatrix exercises every fault kind × phase × recovery
+// outcome. Recovered runs must be bit-identical to the clean run, and
+// every outcome — including the counters — must be identical at every
+// worker count.
+func TestFaultMatrix(t *testing.T) {
+	cleanRes, cleanM, err := solveWith(t, 1, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cleanRes.Converged {
+		t.Fatalf("clean run did not converge (residual %g)", cleanRes.Residual)
+	}
+	if cleanRes.Faults != (FaultStats{}) {
+		t.Fatalf("clean run has fault counters: %+v", cleanRes.Faults)
+	}
+
+	// Repeat counts are chosen against DefaultRetryPolicy.MaxAttempts=3:
+	// Repeat<3 clears within the budget, Repeat≥3 exhausts it (then the
+	// leftover firings clear within the post-restore budget).
+	cases := []struct {
+		name  string
+		ev    FaultEvent
+		every int
+		want  faultOutcome
+	}{
+		{"dispatch-kill-retried", FaultEvent{Sweep: 2, Phase: PhaseDispatch, Rank: 1, Kind: FaultKill, Repeat: 2}, 0, retriedOK},
+		{"dispatch-kill-restored", FaultEvent{Sweep: 3, Phase: PhaseDispatch, Rank: 2, Kind: FaultKill, Repeat: 4}, 2, restoredOK},
+		{"dispatch-kill-exhausted", FaultEvent{Sweep: 3, Phase: PhaseDispatch, Rank: 2, Kind: FaultKill, Repeat: 4}, 0, exhausted},
+		{"dispatch-stall-absorbed", FaultEvent{Sweep: 2, Phase: PhaseDispatch, Rank: 0, Kind: FaultStall, Stall: 5000}, 0, retriedOK},
+		{"exchange-kill-retried", FaultEvent{Sweep: 2, Phase: PhaseExchange, Rank: 0, Kind: FaultKill, Repeat: 2}, 0, retriedOK},
+		{"exchange-kill-restored", FaultEvent{Sweep: 3, Phase: PhaseExchange, Rank: 1, Kind: FaultKill, Repeat: 5}, 2, restoredOK},
+		{"exchange-kill-exhausted", FaultEvent{Sweep: 3, Phase: PhaseExchange, Rank: 1, Kind: FaultKill, Repeat: 5}, 0, exhausted},
+		{"exchange-corrupt-retried", FaultEvent{Sweep: 2, Phase: PhaseExchange, Rank: 2, Kind: FaultCorrupt, Repeat: 1}, 0, retriedOK},
+		{"exchange-corrupt-restored", FaultEvent{Sweep: 3, Phase: PhaseExchange, Rank: 0, Kind: FaultCorrupt, Repeat: 4}, 2, restoredOK},
+		{"exchange-corrupt-exhausted", FaultEvent{Sweep: 3, Phase: PhaseExchange, Rank: 0, Kind: FaultCorrupt, Repeat: 4}, 0, exhausted},
+		{"exchange-stall-absorbed", FaultEvent{Sweep: 2, Phase: PhaseExchange, Rank: 1, Kind: FaultStall, Stall: 2500}, 0, retriedOK},
+		{"merge-kill-retried", FaultEvent{Sweep: 2, Phase: PhaseMerge, Rank: 1, Kind: FaultKill, Repeat: 2}, 0, retriedOK},
+		{"merge-kill-restored", FaultEvent{Sweep: 3, Phase: PhaseMerge, Rank: 0, Kind: FaultKill, Repeat: 4}, 2, restoredOK},
+		{"merge-kill-exhausted", FaultEvent{Sweep: 3, Phase: PhaseMerge, Rank: 0, Kind: FaultKill, Repeat: 4}, 0, exhausted},
+		{"merge-corrupt-retried", FaultEvent{Sweep: 2, Phase: PhaseMerge, Rank: 0, Kind: FaultCorrupt, Repeat: 2}, 0, retriedOK},
+		{"merge-corrupt-restored", FaultEvent{Sweep: 3, Phase: PhaseMerge, Rank: 1, Kind: FaultCorrupt, Repeat: 4}, 2, restoredOK},
+		{"merge-corrupt-exhausted", FaultEvent{Sweep: 3, Phase: PhaseMerge, Rank: 1, Kind: FaultCorrupt, Repeat: 4}, 0, exhausted},
+		{"merge-stall-absorbed", FaultEvent{Sweep: 2, Phase: PhaseMerge, Rank: 0, Kind: FaultStall, Stall: 1234}, 0, retriedOK},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			type run struct {
+				res *JacobiResult
+				m   *Machine
+				err error
+			}
+			runs := map[int]run{}
+			for _, workers := range []int{1, -1} {
+				plan := MustFaultPlan(tc.ev)
+				res, m, err := solveWith(t, workers, plan, tc.every)
+				runs[workers] = run{res, m, err}
+
+				switch tc.want {
+				case exhausted:
+					var be *BudgetError
+					if !errors.As(err, &be) {
+						t.Fatalf("workers=%d: err = %v, want BudgetError", workers, err)
+					}
+					if be.Phase != tc.ev.Phase || be.Sweep != tc.ev.Sweep {
+						t.Fatalf("workers=%d: budget error %+v does not match fault %+v", workers, be, tc.ev)
+					}
+					continue
+				case retriedOK, restoredOK:
+					if err != nil {
+						t.Fatalf("workers=%d: solve failed: %v", workers, err)
+					}
+				}
+				assertSameSolve(t, res, cleanRes)
+
+				f := res.Faults
+				wantFires := int64(tc.ev.Repeat)
+				if wantFires == 0 {
+					wantFires = 1 // NewFaultPlan normalizes Repeat 0 to 1
+				}
+				if f.Injected != wantFires {
+					t.Errorf("workers=%d: injected %d faults, plan repeat %d", workers, f.Injected, wantFires)
+				}
+				switch tc.ev.Kind {
+				case FaultKill:
+					if f.Kills != f.Injected || f.Retries == 0 || f.BackoffCycles == 0 {
+						t.Errorf("workers=%d: kill counters %+v", workers, f)
+					}
+				case FaultCorrupt:
+					if f.Corruptions != f.Injected || f.Retries == 0 {
+						t.Errorf("workers=%d: corrupt counters %+v", workers, f)
+					}
+				case FaultStall:
+					if f.Stalls != 1 || f.StallCycles != tc.ev.Stall || f.Retries != 0 {
+						t.Errorf("workers=%d: stall counters %+v", workers, f)
+					}
+				}
+				if tc.want == restoredOK {
+					if f.Restores == 0 || f.Exhausted == 0 || f.Checkpoints == 0 {
+						t.Errorf("workers=%d: restore counters %+v", workers, f)
+					}
+				} else if f.Restores != 0 {
+					t.Errorf("workers=%d: unexpected restore: %+v", workers, f)
+				}
+				// Fault recovery costs simulated time; only the fault-free
+				// path is free.
+				if m.MachineCycles <= cleanM.MachineCycles {
+					t.Errorf("workers=%d: faulted run cycles %d not above clean %d",
+						workers, m.MachineCycles, cleanM.MachineCycles)
+				}
+			}
+
+			// Determinism across worker counts: identical counters,
+			// clocks and (when recovered) identical solves.
+			seq, par := runs[1], runs[-1]
+			if (seq.err == nil) != (par.err == nil) {
+				t.Fatalf("outcome differs by worker count: %v vs %v", seq.err, par.err)
+			}
+			if seq.m.MachineCycles != par.m.MachineCycles || seq.m.CommCycles != par.m.CommCycles {
+				t.Errorf("clocks differ by worker count: machine %d/%d comm %d/%d",
+					seq.m.MachineCycles, par.m.MachineCycles, seq.m.CommCycles, par.m.CommCycles)
+			}
+			if seq.m.FaultCounters != par.m.FaultCounters {
+				t.Errorf("fault counters differ by worker count:\n  seq %+v\n  par %+v",
+					seq.m.FaultCounters, par.m.FaultCounters)
+			}
+			if seq.err == nil {
+				assertSameSolve(t, par.res, seq.res)
+			}
+		})
+	}
+}
+
+// TestSeededKillPlanRecoversBitIdentical is the headline acceptance
+// property: a seeded plan that kills nodes mid-sweep is recovered via
+// retry (and checkpoint restore stands by), and the final grid is
+// bit-identical to the fault-free run.
+func TestSeededKillPlanRecoversBitIdentical(t *testing.T) {
+	cleanRes, _, err := solveWith(t, 1, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{1, 42, 7777} {
+		for _, workers := range []int{1, -1} {
+			plan := RandomFaultPlan(seed, 6, 4, 5)
+			res, _, err := solveWith(t, workers, plan, 3)
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			assertSameSolve(t, res, cleanRes)
+			if res.Faults.Injected == 0 {
+				t.Fatalf("seed %d: plan never fired", seed)
+			}
+		}
+	}
+}
+
+// TestPermanentFaultExhaustsRestores: a fault that never heals burns
+// through MaxRestores checkpoint rollbacks and then surfaces.
+func TestPermanentFaultExhaustsRestores(t *testing.T) {
+	plan := MustFaultPlan(FaultEvent{Sweep: 3, Phase: PhaseDispatch, Rank: 1, Kind: FaultKill, Repeat: 1 << 20})
+	m, err := New(smallCfg(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Faults = plan
+	m.CheckpointEvery = 2
+	_, err = m.SolveJacobi(parallelProblem(m.P()))
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want BudgetError", err)
+	}
+	// The machine's cumulative counters only account completed solves.
+	if m.FaultCounters.Restores != 0 {
+		t.Errorf("failed solve leaked counters into the machine: %+v", m.FaultCounters)
+	}
+}
+
+// TestEmptyPlanZeroOverhead: arming an empty plan (and no plan at all)
+// charges not a single extra simulated cycle.
+func TestEmptyPlanZeroOverhead(t *testing.T) {
+	bare, bareM, err := solveWith(t, 1, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, emptyM, err := solveWith(t, 1, MustFaultPlan(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Cycles != bare.Cycles || emptyM.MachineCycles != bareM.MachineCycles ||
+		emptyM.CommCycles != bareM.CommCycles {
+		t.Errorf("empty plan changed the clock: %d/%d vs %d/%d",
+			emptyM.MachineCycles, emptyM.CommCycles, bareM.MachineCycles, bareM.CommCycles)
+	}
+	if empty.Faults != (FaultStats{}) {
+		t.Errorf("empty plan produced counters: %+v", empty.Faults)
+	}
+	assertSameSolve(t, empty, bare)
+}
+
+func TestFaultPlanValidation(t *testing.T) {
+	if _, err := NewFaultPlan(FaultEvent{Phase: PhaseDispatch, Kind: FaultCorrupt}); err == nil {
+		t.Error("corrupt dispatch accepted: a dispatch moves no payload")
+	}
+	if _, err := NewFaultPlan(FaultEvent{Phase: PhaseExchange, Kind: FaultStall, Stall: 0}); err == nil {
+		t.Error("stall without cycles accepted")
+	}
+	if _, err := NewFaultPlan(FaultEvent{Sweep: -1, Kind: FaultKill}); err == nil {
+		t.Error("negative sweep accepted")
+	}
+	if _, err := NewFaultPlan(FaultEvent{Kind: FaultKind(99)}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := NewFaultPlan(FaultEvent{Phase: Phase(99), Kind: FaultKill}); err == nil {
+		t.Error("unknown phase accepted")
+	}
+}
+
+func TestFaultPlanTriggerSemantics(t *testing.T) {
+	plan := MustFaultPlan(
+		FaultEvent{Sweep: 1, Phase: PhaseDispatch, Rank: 0, Kind: FaultKill, Repeat: 2},
+		FaultEvent{Sweep: 1, Phase: PhaseExchange, Rank: 0, Kind: FaultStall, Stall: 10},
+	)
+	if plan.trigger(0, PhaseDispatch, 0) != nil {
+		t.Error("fired on wrong sweep")
+	}
+	if plan.trigger(1, PhaseDispatch, 1) != nil {
+		t.Error("fired on wrong rank")
+	}
+	if plan.trigger(1, PhaseDispatch, 0) == nil || plan.trigger(1, PhaseDispatch, 0) == nil {
+		t.Error("repeat=2 event did not fire twice")
+	}
+	if plan.trigger(1, PhaseDispatch, 0) != nil {
+		t.Error("expired event fired")
+	}
+	// Counters snapshot and restore.
+	snap := plan.firedSnapshot()
+	if len(snap) != 2 || snap[0] != 2 || snap[1] != 0 {
+		t.Fatalf("fired snapshot = %v", snap)
+	}
+	plan.setFired([]int64{0, 0})
+	if plan.trigger(1, PhaseDispatch, 0) == nil {
+		t.Error("reset counters did not re-arm the event")
+	}
+	// Nil plan is inert.
+	var nilPlan *FaultPlan
+	if nilPlan.trigger(0, PhaseDispatch, 0) != nil || nilPlan.firedSnapshot() != nil {
+		t.Error("nil plan not inert")
+	}
+	nilPlan.setFired(nil)
+}
+
+func TestParseFaultPlan(t *testing.T) {
+	plan, err := ParseFaultPlan("dispatch:kill@2:1:repeat=2, exchange:corrupt@3:0, merge:stall@1:1:stall=500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []FaultEvent{
+		{Sweep: 2, Phase: PhaseDispatch, Rank: 1, Kind: FaultKill, Repeat: 2},
+		{Sweep: 3, Phase: PhaseExchange, Rank: 0, Kind: FaultCorrupt, Repeat: 1},
+		{Sweep: 1, Phase: PhaseMerge, Rank: 1, Kind: FaultStall, Repeat: 1, Stall: 500},
+	}
+	if len(plan.Events) != len(want) {
+		t.Fatalf("parsed %d events, want %d", len(plan.Events), len(want))
+	}
+	for i, ev := range want {
+		if plan.Events[i] != ev {
+			t.Errorf("event %d = %+v, want %+v", i, plan.Events[i], ev)
+		}
+		// String renders back to parseable syntax (Repeat 1 is implied,
+		// so it parses as 0 and NewFaultPlan would normalize it).
+		round, err := parseFaultEvent(ev.String())
+		if err != nil {
+			t.Fatalf("event %d round trip: %v", i, err)
+		}
+		if round.Repeat == 0 {
+			round.Repeat = 1
+		}
+		if round != ev {
+			t.Errorf("event %d round trip: %+v, want %+v", i, round, ev)
+		}
+	}
+
+	seeded, err := ParseFaultPlan("seed@42:sweeps=6:ranks=4:events=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := RandomFaultPlan(42, 6, 4, 3)
+	if len(seeded.Events) != 3 {
+		t.Fatalf("seeded plan has %d events", len(seeded.Events))
+	}
+	for i := range ref.Events {
+		if seeded.Events[i] != ref.Events[i] {
+			t.Errorf("seeded event %d = %+v, want %+v", i, seeded.Events[i], ref.Events[i])
+		}
+	}
+
+	if empty, err := ParseFaultPlan("  "); err != nil || len(empty.Events) != 0 {
+		t.Errorf("blank spec: %v, %v", empty, err)
+	}
+	for _, bad := range []string{
+		"dispatch:corrupt@1:0",             // corrupt needs a link phase
+		"teleport:kill@1:0",                // unknown phase
+		"dispatch:melt@1:0",                // unknown kind
+		"dispatch:kill@x:0",                // bad sweep
+		"dispatch:kill@1",                  // missing rank
+		"dispatch:kill@1:0:bogus=3",        // unknown option
+		"seed@42:sweeps=6",                 // short seed form
+		"seed@x:sweeps=6:ranks=4:events=3", // bad seed
+	} {
+		if _, err := ParseFaultPlan(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestRetryPolicyBackoff(t *testing.T) {
+	rp := RetryPolicy{}.withDefaults()
+	if rp != DefaultRetryPolicy {
+		t.Fatalf("defaults = %+v", rp)
+	}
+	if rp.backoff(0) != 64 || rp.backoff(1) != 128 || rp.backoff(2) != 256 {
+		t.Errorf("backoff schedule: %d %d %d", rp.backoff(0), rp.backoff(1), rp.backoff(2))
+	}
+	if rp.backoff(20) != rp.MaxBackoffCycles {
+		t.Errorf("backoff uncapped: %d", rp.backoff(20))
+	}
+}
+
+// TestCustomRetryPolicy: a single-attempt budget turns any kill fault
+// into an immediate budget error.
+func TestCustomRetryPolicy(t *testing.T) {
+	m, err := New(smallCfg(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Faults = MustFaultPlan(FaultEvent{Sweep: 1, Phase: PhaseDispatch, Rank: 0, Kind: FaultKill})
+	m.Retry = RetryPolicy{MaxAttempts: 1, BackoffCycles: 1, MaxBackoffCycles: 1, MaxRestores: 1}
+	_, err = m.SolveJacobi(parallelProblem(m.P()))
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want BudgetError", err)
+	}
+	if be.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1", be.Attempts)
+	}
+}
+
+func TestFaultStringForms(t *testing.T) {
+	for _, tc := range []struct {
+		got, want string
+	}{
+		{FaultKill.String(), "kill"},
+		{FaultCorrupt.String(), "corrupt"},
+		{FaultStall.String(), "stall"},
+		{PhaseDispatch.String(), "dispatch"},
+		{PhaseExchange.String(), "exchange"},
+		{PhaseMerge.String(), "merge"},
+		{FaultEvent{Sweep: 2, Phase: PhaseExchange, Rank: 1, Kind: FaultStall, Repeat: 3, Stall: 9}.String(),
+			"exchange:stall@2:1:repeat=3:stall=9"},
+	} {
+		if tc.got != tc.want {
+			t.Errorf("%q != %q", tc.got, tc.want)
+		}
+	}
+	s := FaultStats{Injected: 2, Kills: 1, Stalls: 1, Retries: 1, BackoffCycles: 64, StallCycles: 9}
+	if s.String() != "injected=2 (kill=1 corrupt=0 stall=1) retries=1 backoff=64 stallcycles=9 exhausted=0 checkpoints=0 restores=0" {
+		t.Errorf("stats string = %q", s.String())
+	}
+	var e error = &BudgetError{Sweep: 3, Phase: PhaseMerge, Rank: 1, Attempts: 3}
+	if e.Error() == "" {
+		t.Error("empty budget error")
+	}
+}

@@ -8,6 +8,15 @@
 // the scaling experiment (P2): 1-D domain decomposition along k with
 // ghost-plane exchange between ring neighbours (a Gray-code ring, so
 // every exchange is a single hop) and a log₂P convergence combine.
+//
+// Long solves on machines of this class die of partial failure unless
+// the driver degrades gracefully, so the solve loop carries a
+// robustness layer: a deterministic fault plan (fault.go) can kill a
+// node dispatch, corrupt a ghost payload or stall a link at chosen
+// sweep/phase points; every faulted operation retries under a bounded
+// exponential-backoff budget in simulated cycles; and sweep-boundary
+// checkpoints (checkpoint.go) let the solve roll back — or a fresh
+// process resume — to bit-identical results versus a fault-free run.
 package hypercube
 
 import (
@@ -45,6 +54,30 @@ type Machine struct {
 	// nodes share no mutable simulator state, and all cycle/FLOP
 	// accounting is merged in rank order after each barrier.
 	Workers int
+
+	// Faults, when non-nil, injects the plan's deterministic faults
+	// into SolveJacobi. Nil (the default) keeps the solve loop on the
+	// exact fault-free path: no extra simulated cycles, no counters.
+	Faults *FaultPlan
+	// Retry bounds fault recovery; zero fields take DefaultRetryPolicy.
+	Retry RetryPolicy
+	// CheckpointEvery, when positive, snapshots the solve at every
+	// sweep boundary divisible by it (sweep 0 included, so a restore
+	// point always exists once the solve starts).
+	CheckpointEvery int
+	// CheckpointSink, when non-nil, receives every snapshot as it is
+	// taken — e.g. SaveCheckpointFile for crash-consistent persistence.
+	CheckpointSink func(*Checkpoint) error
+	// LastCheckpoint is the most recent snapshot; retry-budget
+	// exhaustion rolls the solve back to it.
+	LastCheckpoint *Checkpoint
+	// Restore, when non-nil, makes the next SolveJacobi resume from
+	// this snapshot (typically loaded from disk into a fresh machine)
+	// instead of the problem's initial guess.
+	Restore *Checkpoint
+	// FaultCounters accumulates fault/recovery counters across
+	// completed solves on this machine.
+	FaultCounters FaultStats
 }
 
 // New builds a hypercube of 2^dim nodes.
@@ -66,11 +99,32 @@ func New(cfg arch.Config, dim int) (*Machine, error) {
 // P returns the node count.
 func (m *Machine) P() int { return len(m.Nodes) }
 
-// Hops returns the e-cube path length between two nodes.
-func (m *Machine) Hops(from, to int) int { return bits.OnesCount(uint(from ^ to)) }
+// checkRank validates a node rank.
+func (m *Machine) checkRank(what string, r int) error {
+	if r < 0 || r >= m.P() {
+		return fmt.Errorf("hypercube: %s node %d outside %d nodes", what, r, m.P())
+	}
+	return nil
+}
+
+// Hops returns the e-cube path length between two nodes, rejecting
+// out-of-range ranks.
+func (m *Machine) Hops(from, to int) (int, error) {
+	if err := m.checkRank("hops from", from); err != nil {
+		return 0, err
+	}
+	if err := m.checkRank("hops to", to); err != nil {
+		return 0, err
+	}
+	return hops(from, to), nil
+}
+
+// hops is Hops for ranks already validated.
+func hops(from, to int) int { return bits.OnesCount(uint(from ^ to)) }
 
 // Route returns the e-cube path from one node to another, resolving
-// address bits lowest-dimension first.
+// address bits lowest-dimension first. Out-of-range ranks are rejected
+// with an error.
 func (m *Machine) Route(from, to int) ([]int, error) {
 	if from < 0 || from >= m.P() || to < 0 || to >= m.P() {
 		return nil, fmt.Errorf("hypercube: route %d->%d outside %d nodes", from, to, m.P())
@@ -102,7 +156,9 @@ func (m *Machine) SendCost(bytes int64, hops int) int64 {
 func GrayRank(r int) int { return r ^ (r >> 1) }
 
 // CopyWords moves count words from one node's plane to another node's
-// plane through the router, charging the communication cost.
+// plane through the router, charging the communication cost. Node
+// ranks and plane indices are validated; errors are returned, never
+// panics.
 func (m *Machine) CopyWords(fromNode, fromPlane int, fromAddr int64,
 	toNode, toPlane int, toAddr int64, count int) error {
 	cost, err := m.copyPayload(fromNode, fromPlane, fromAddr, toNode, toPlane, toAddr, count)
@@ -119,6 +175,12 @@ func (m *Machine) CopyWords(fromNode, fromPlane int, fromAddr int64,
 // pairs can defer accounting to a deterministic rank-order merge.
 func (m *Machine) copyPayload(fromNode, fromPlane int, fromAddr int64,
 	toNode, toPlane int, toAddr int64, count int) (int64, error) {
+	if err := m.checkRank("copy source", fromNode); err != nil {
+		return 0, err
+	}
+	if err := m.checkRank("copy destination", toNode); err != nil {
+		return 0, err
+	}
 	data, err := m.Nodes[fromNode].ReadWords(fromPlane, fromAddr, count)
 	if err != nil {
 		return 0, err
@@ -126,7 +188,7 @@ func (m *Machine) copyPayload(fromNode, fromPlane int, fromAddr int64,
 	if err := m.Nodes[toNode].WriteWords(toPlane, toAddr, data); err != nil {
 		return 0, err
 	}
-	return m.SendCost(int64(count)*int64(m.Cfg.WordBytes), m.Hops(fromNode, toNode)), nil
+	return m.SendCost(int64(count)*int64(m.Cfg.WordBytes), hops(fromNode, toNode)), nil
 }
 
 // JacobiResult reports a multi-node solve.
@@ -140,15 +202,21 @@ type JacobiResult struct {
 	// parallel-equivalence tests compare bit for bit.
 	ResidualSeries []float64
 	// Cycles is the machine critical path: per-iteration max node time
-	// plus exchange and combine communication.
+	// plus exchange and combine communication (including retry backoff
+	// and stall time when faults were injected).
 	Cycles int64
 	// TotalFLOPs across all nodes.
 	TotalFLOPs int64
 	GFLOPS     float64
 	// PlanCache aggregates the nodes' decoded-instruction cache
 	// counters: with the decode-once engine each node compiles its two
-	// sweep instructions exactly once however many iterations run.
+	// sweep instructions exactly once however many iterations run. A
+	// run restored from a checkpoint carries the snapshot's counters
+	// forward.
 	PlanCache sim.PlanCacheStats
+	// Faults counts injected faults and the recovery work they caused;
+	// all-zero on fault-free runs.
+	Faults FaultStats
 }
 
 // SolveJacobi runs the paper's example problem on the hypercube with a
@@ -159,6 +227,12 @@ type JacobiResult struct {
 // sweeps once per iteration, exchanges ghost faces with its ring
 // neighbours, and participates in a log₂P max-combine of the residual
 // registers.
+//
+// When a FaultPlan is armed, faulted operations retry under the
+// machine's RetryPolicy; a retry budget that exhausts rolls the solve
+// back to LastCheckpoint (when one exists and MaxRestores allows)
+// instead of failing. Recovered runs produce bit-identical grids and
+// residual histories to fault-free runs; only the cycle counts grow.
 func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 	p := m.P()
 	inner := global.Nz - 2
@@ -220,33 +294,167 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 
 	res := &JacobiResult{}
 	redFU := arch.FUID(11) // T4 slot 2 under the default triplet layout
+	retry := m.Retry.withDefaults()
 	sweep := make([]int64, p)
-	for it := 0; it < global.MaxIter; it++ {
+
+	// Fault bookkeeping. All slices stay nil on the fault-free path,
+	// and per-rank deltas merge in rank order after every barrier so
+	// counters are identical at every worker count.
+	var fst FaultStats  // this solve's live counters
+	var base FaultStats // counters carried in from a restored snapshot
+	var pcBase sim.PlanCacheStats
+	var deltas []FaultStats
+	var budget []*BudgetError
+	if m.Faults != nil {
+		deltas = make([]FaultStats, p)
+		budget = make([]*BudgetError, p)
+	}
+	mergeDeltas := func() {
+		for r := range deltas {
+			fst.add(deltas[r])
+			deltas[r] = FaultStats{}
+		}
+	}
+	firstBudget := func() *BudgetError {
+		var be *BudgetError
+		for r := range budget {
+			if budget[r] != nil && be == nil {
+				be = budget[r]
+			}
+			budget[r] = nil
+		}
+		return be
+	}
+
+	startIt := 0
+	skipSnapshotAt := -1
+	restores := 0
+	if ck := m.Restore; ck != nil {
+		if err := ck.compatible(p, n, global.Nz, slab); err != nil {
+			return nil, err
+		}
+		if err := m.applyCheckpoint(ck); err != nil {
+			return nil, err
+		}
+		startIt = ck.Sweep
+		skipSnapshotAt = ck.Sweep
+		res.Iterations = ck.Sweep
+		res.ResidualSeries = append([]float64(nil), ck.Residuals...)
+		m.MachineCycles = ck.MachineCycles
+		m.CommCycles = ck.CommCycles
+		m.Faults.setFired(ck.FaultFired)
+		base = ck.Faults
+		pcBase = ck.PlanCache
+		m.LastCheckpoint = ck
+	}
+
+	// rollback restores the solve to the latest checkpoint after a
+	// retry budget exhausts, when policy still allows it. Simulated
+	// time is not rolled back: the lost work cost real cycles.
+	rollback := func(be *BudgetError) (int, error) {
+		ck := m.LastCheckpoint
+		if ck == nil || restores >= retry.MaxRestores {
+			return 0, be
+		}
+		if err := ck.compatible(p, n, global.Nz, slab); err != nil {
+			return 0, err
+		}
+		if err := m.applyCheckpoint(ck); err != nil {
+			return 0, err
+		}
+		restores++
+		fst.Restores++
+		res.Iterations = ck.Sweep
+		res.ResidualSeries = append(res.ResidualSeries[:0], ck.Residuals...)
+		skipSnapshotAt = ck.Sweep
+		return ck.Sweep, nil
+	}
+
+	for it := startIt; it < global.MaxIter; it++ {
+		// Sweep-boundary snapshot.
+		if m.CheckpointEvery > 0 && it%m.CheckpointEvery == 0 && it != skipSnapshotAt {
+			fst.Checkpoints++
+			combined := base
+			combined.add(fst)
+			ck, err := m.snapshot(it, slab, global, res.ResidualSeries, combined, pcBase)
+			if err != nil {
+				return nil, err
+			}
+			m.LastCheckpoint = ck
+			if m.CheckpointSink != nil {
+				if err := m.CheckpointSink(ck); err != nil {
+					return nil, fmt.Errorf("hypercube: checkpoint sink at sweep %d: %w", it, err)
+				}
+			}
+		}
+
 		// Sweep on every node. Each node only mutates its own simulator
 		// state, so the sweeps dispatch across the worker pool; the
 		// cycle deltas land in a per-rank slice and merge after the
 		// barrier in rank order, keeping MachineCycles bit-identical to
-		// the sequential schedule. The critical path is the slowest node.
+		// the sequential schedule. The critical path is the slowest
+		// node. A killed dispatch retries with backoff; an exhausted
+		// budget is recorded per rank and resolved after the barrier,
+		// so counters stay deterministic at every worker count.
 		if err := ParallelFor(m.Workers, p, func(r int) error {
 			nd := m.Nodes[node(r)]
-			before := nd.Stats.Cycles
 			in := fwd[r]
 			if it%2 == 1 {
 				in = bwd[r]
 			}
+			var extra int64 // injected stall + backoff cycles
+			if m.Faults != nil {
+				fs := &deltas[r]
+				for attempt := 0; ; attempt++ {
+					ev := m.Faults.trigger(it, PhaseDispatch, r)
+					if ev == nil {
+						break
+					}
+					fs.Injected++
+					if ev.Kind == FaultStall {
+						fs.Stalls++
+						fs.StallCycles += ev.Stall
+						extra += ev.Stall
+						break
+					}
+					fs.Kills++
+					if attempt+1 >= retry.MaxAttempts {
+						fs.Exhausted++
+						budget[r] = &BudgetError{Sweep: it, Phase: PhaseDispatch, Rank: r, Attempts: attempt + 1}
+						sweep[r] = extra
+						return nil
+					}
+					fs.Retries++
+					b := retry.backoff(attempt)
+					fs.BackoffCycles += b
+					extra += b
+				}
+			}
+			before := nd.Stats.Cycles
 			if err := nd.Exec(in); err != nil {
 				return fmt.Errorf("hypercube: node %d sweep %d: %w", r, it, err)
 			}
-			sweep[r] = nd.Stats.Cycles - before
+			sweep[r] = nd.Stats.Cycles - before + extra
 			return nil
 		}); err != nil {
 			return nil, err
 		}
+		mergeDeltas()
 		var maxNode int64
 		for r := 0; r < p; r++ {
 			if sweep[r] > maxNode {
 				maxNode = sweep[r]
 			}
+		}
+		if be := firstBudget(); be != nil {
+			// The aborted sweep still cost the machine its time.
+			m.MachineCycles += maxNode
+			at, err := rollback(be)
+			if err != nil {
+				return nil, err
+			}
+			it = at - 1
+			continue
 		}
 		curPlane := jacobi.PlaneV
 		if it%2 == 1 {
@@ -255,7 +463,9 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 		res.Iterations++
 		m.MachineCycles += maxNode
 
-		// Residual max-combine: log₂P exchange of one word.
+		// Residual max-combine: log₂P exchange of one word. Lost or
+		// corrupted combine rounds re-send with backoff; the wasted
+		// round still crossed the wire, so it is charged too.
 		worst := 0.0
 		for r := 0; r < p; r++ {
 			if v := m.Nodes[node(r)].RedReg[redFU]; v > worst {
@@ -263,12 +473,53 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 			}
 		}
 		if p > 1 {
+			step := m.SendCost(int64(m.Cfg.WordBytes), 1)
 			combine := int64(0)
-			for d := 0; d < m.Dim; d++ {
-				combine += m.SendCost(int64(m.Cfg.WordBytes), 1)
+			var mergeBE *BudgetError
+			for d := 0; d < m.Dim && mergeBE == nil; d++ {
+				if m.Faults != nil {
+					for attempt := 0; ; attempt++ {
+						ev := m.Faults.trigger(it, PhaseMerge, d)
+						if ev == nil {
+							break
+						}
+						fst.Injected++
+						if ev.Kind == FaultStall {
+							fst.Stalls++
+							fst.StallCycles += ev.Stall
+							combine += ev.Stall
+							break
+						}
+						if ev.Kind == FaultCorrupt {
+							fst.Corruptions++
+						} else {
+							fst.Kills++
+						}
+						if attempt+1 >= retry.MaxAttempts {
+							fst.Exhausted++
+							mergeBE = &BudgetError{Sweep: it, Phase: PhaseMerge, Rank: d, Attempts: attempt + 1}
+							break
+						}
+						fst.Retries++
+						b := retry.backoff(attempt)
+						fst.BackoffCycles += b
+						combine += step + b
+					}
+				}
+				if mergeBE == nil {
+					combine += step
+				}
 			}
 			m.CommCycles += combine
 			m.MachineCycles += combine
+			if mergeBE != nil {
+				at, err := rollback(mergeBE)
+				if err != nil {
+					return nil, err
+				}
+				it = at - 1
+				continue
+			}
 		}
 		res.Residual = worst
 		res.ResidualSeries = append(res.ResidualSeries, worst)
@@ -296,29 +547,53 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 			pairs := pairsOfParity(p, phase)
 			if err := ParallelFor(m.Workers, len(pairs), func(k int) error {
 				r := pairs[k]
-				// r's plane kz=slab (global lo+slab-1) → (r+1)'s ghost kz=0.
-				down, err := m.copyPayload(node(r), curPlane, int64(slab*nn),
-					node(r+1), curPlane, 0, nn)
-				if err != nil {
-					return err
+				if m.Faults == nil {
+					// r's plane kz=slab (global lo+slab-1) → (r+1)'s ghost kz=0.
+					down, err := m.copyPayload(node(r), curPlane, int64(slab*nn),
+						node(r+1), curPlane, 0, nn)
+					if err != nil {
+						return err
+					}
+					// (r+1)'s plane kz=1 → r's ghost kz=slab+1.
+					up, err := m.copyPayload(node(r+1), curPlane, int64(nn),
+						node(r), curPlane, int64((slab+1)*nn), nn)
+					if err != nil {
+						return err
+					}
+					pairCost[r] = down + up
+					return nil
 				}
-				// (r+1)'s plane kz=1 → r's ghost kz=slab+1.
-				up, err := m.copyPayload(node(r+1), curPlane, int64(nn),
-					node(r), curPlane, int64((slab+1)*nn), nn)
-				if err != nil {
-					return err
-				}
-				pairCost[r] = down + up
-				return nil
+				return m.exchangePair(it, r, slab, nn, curPlane, retry, &deltas[r], &pairCost[r], budget)
 			}); err != nil {
 				return nil, err
 			}
 		}
+		mergeDeltas()
 		for r := 0; r+1 < p; r++ {
 			m.CommCycles += pairCost[r]
 		}
 		if p > 1 {
-			m.MachineCycles += 2 * m.SendCost(int64(nn)*int64(m.Cfg.WordBytes), 1)
+			pairClean := 2 * m.SendCost(int64(nn)*int64(m.Cfg.WordBytes), 1)
+			m.MachineCycles += pairClean
+			if m.Faults != nil {
+				// Pairs exchange concurrently: the critical path grows
+				// by the worst pair's injected stall/backoff/resend.
+				var worstExtra int64
+				for r := 0; r+1 < p; r++ {
+					if ex := pairCost[r] - pairClean; ex > worstExtra {
+						worstExtra = ex
+					}
+				}
+				m.MachineCycles += worstExtra
+			}
+		}
+		if be := firstBudget(); be != nil {
+			at, err := rollback(be)
+			if err != nil {
+				return nil, err
+			}
+			it = at - 1
+			continue
 		}
 	}
 
@@ -340,6 +615,7 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 		copy(res.U[lo*nn:(lo+slab)*nn], data)
 	}
 
+	res.PlanCache = pcBase
 	for _, nd := range m.Nodes {
 		res.TotalFLOPs += nd.Stats.FLOPs
 		st := nd.PlanCacheStats()
@@ -347,6 +623,9 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 		res.PlanCache.Misses += st.Misses
 		res.PlanCache.Entries += st.Entries
 	}
+	res.Faults = base
+	res.Faults.add(fst)
+	m.FaultCounters.add(fst)
 	res.Cycles = m.MachineCycles
 	if res.Cycles > 0 {
 		res.GFLOPS = float64(res.TotalFLOPs) / (float64(res.Cycles) / m.Cfg.ClockHz) / 1e9
@@ -355,6 +634,143 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 		return res, fmt.Errorf("hypercube: no convergence in %d iterations (residual %g)", res.Iterations, res.Residual)
 	}
 	return res, nil
+}
+
+// exchangePair performs one ring pair's ghost exchange under the fault
+// plan: kills drop the messages before transfer, corruptions deliver a
+// bit-flipped down payload that the modeled link CRC flags for
+// re-send, stalls delay the pair. All costs (wasted transfers, backoff,
+// stall) accumulate into *cost for the rank-order merge.
+func (m *Machine) exchangePair(it, r, slab, nn, curPlane int, retry RetryPolicy,
+	fs *FaultStats, cost *int64, budget []*BudgetError) error {
+	total := int64(0)
+	for attempt := 0; ; attempt++ {
+		ev := m.Faults.trigger(it, PhaseExchange, r)
+		corrupt := false
+		if ev != nil {
+			fs.Injected++
+			switch ev.Kind {
+			case FaultStall:
+				fs.Stalls++
+				fs.StallCycles += ev.Stall
+				total += ev.Stall
+				// The stalled transfer still completes below.
+			case FaultKill:
+				fs.Kills++
+				if attempt+1 >= retry.MaxAttempts {
+					fs.Exhausted++
+					budget[r] = &BudgetError{Sweep: it, Phase: PhaseExchange, Rank: r, Attempts: attempt + 1}
+					*cost = total
+					return nil
+				}
+				fs.Retries++
+				b := retry.backoff(attempt)
+				fs.BackoffCycles += b
+				total += b
+				continue // messages lost before any words moved
+			case FaultCorrupt:
+				corrupt = true
+			}
+		}
+		down, err := m.copyPayload(node(r), curPlane, int64(slab*nn),
+			node(r+1), curPlane, 0, nn)
+		if err != nil {
+			return err
+		}
+		up, err := m.copyPayload(node(r+1), curPlane, int64(nn),
+			node(r), curPlane, int64((slab+1)*nn), nn)
+		if err != nil {
+			return err
+		}
+		total += down + up
+		if corrupt {
+			// The down payload arrived bit-flipped; the link CRC flags
+			// it and the pair re-sends. The corrupted words really land
+			// in the ghost plane until the retry scrubs them — exactly
+			// the state a crash would leave behind.
+			fs.Corruptions++
+			if err := m.corruptWords(node(r+1), curPlane, 0, nn); err != nil {
+				return err
+			}
+			if attempt+1 >= retry.MaxAttempts {
+				fs.Exhausted++
+				budget[r] = &BudgetError{Sweep: it, Phase: PhaseExchange, Rank: r, Attempts: attempt + 1}
+				*cost = total
+				return nil
+			}
+			fs.Retries++
+			b := retry.backoff(attempt)
+			fs.BackoffCycles += b
+			total += b
+			continue
+		}
+		*cost = total
+		return nil
+	}
+}
+
+// corruptWords bit-flips count words at plane/addr of a node —
+// deterministic payload corruption (sign plus scattered mantissa bits).
+func (m *Machine) corruptWords(nd, plane int, addr int64, count int) error {
+	data, err := m.Nodes[nd].ReadWords(plane, addr, count)
+	if err != nil {
+		return err
+	}
+	for i, v := range data {
+		data[i] = math.Float64frombits(math.Float64bits(v) ^ 0x8000000000000421)
+	}
+	return m.Nodes[nd].WriteWords(plane, addr, data)
+}
+
+// snapshot captures a sweep-boundary checkpoint: every node's u and v
+// planes, the residual history, the machine clocks and the fault/plan
+// counters.
+func (m *Machine) snapshot(it, slab int, global *jacobi.Problem,
+	series []float64, faults FaultStats, pcBase sim.PlanCacheStats) (*Checkpoint, error) {
+	nn := global.N * global.N
+	ck := &Checkpoint{
+		Sweep: it, P: m.P(), N: global.N, Nz: global.Nz, Slab: slab,
+		Residuals:     append([]float64(nil), series...),
+		MachineCycles: m.MachineCycles,
+		CommCycles:    m.CommCycles,
+		Faults:        faults,
+		FaultFired:    m.Faults.firedSnapshot(),
+		PlanCache:     pcBase,
+	}
+	words := (slab + 2) * nn
+	for r := 0; r < m.P(); r++ {
+		u, err := m.Nodes[node(r)].ReadWords(jacobi.PlaneU, 0, words)
+		if err != nil {
+			return nil, err
+		}
+		v, err := m.Nodes[node(r)].ReadWords(jacobi.PlaneV, 0, words)
+		if err != nil {
+			return nil, err
+		}
+		ck.U = append(ck.U, u)
+		ck.V = append(ck.V, v)
+	}
+	for _, nd := range m.Nodes {
+		st := nd.PlanCacheStats()
+		ck.PlanCache.Hits += st.Hits
+		ck.PlanCache.Misses += st.Misses
+		ck.PlanCache.Entries += st.Entries
+	}
+	return ck, nil
+}
+
+// applyCheckpoint writes a snapshot's iterate planes back into the
+// nodes (ranks mapped through the Gray code, as everywhere else).
+func (m *Machine) applyCheckpoint(ck *Checkpoint) error {
+	for r := 0; r < ck.P; r++ {
+		if err := m.Nodes[node(r)].WriteWords(jacobi.PlaneU, 0, ck.U[r]); err != nil {
+			return err
+		}
+		if err := m.Nodes[node(r)].WriteWords(jacobi.PlaneV, 0, ck.V[r]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // node maps ring rank r to its hypercube address via the Gray code, so

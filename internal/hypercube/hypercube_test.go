@@ -31,12 +31,22 @@ func TestNewMachine(t *testing.T) {
 	}
 }
 
+// mustHops is Hops for in-range test arguments.
+func mustHops(t *testing.T, m *Machine, from, to int) int {
+	t.Helper()
+	h, err := m.Hops(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
 func TestHopsAndRoutes(t *testing.T) {
 	m, _ := New(smallCfg(), 3)
-	if m.Hops(0, 7) != 3 {
-		t.Errorf("hops 0->7 = %d", m.Hops(0, 7))
+	if got := mustHops(t, m, 0, 7); got != 3 {
+		t.Errorf("hops 0->7 = %d", got)
 	}
-	if m.Hops(5, 5) != 0 {
+	if mustHops(t, m, 5, 5) != 0 {
 		t.Error("self hops != 0")
 	}
 	path, err := m.Route(0, 6)
@@ -68,14 +78,14 @@ func TestRouteProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		if len(path) != m.Hops(from, to)+1 {
+		if h, err := m.Hops(from, to); err != nil || len(path) != h+1 {
 			return false
 		}
 		if path[len(path)-1] != to {
 			return false
 		}
 		for i := 1; i < len(path); i++ {
-			if m.Hops(path[i-1], path[i]) != 1 {
+			if h, err := m.Hops(path[i-1], path[i]); err != nil || h != 1 {
 				return false
 			}
 		}
@@ -141,6 +151,40 @@ func TestCopyWordsMovesDataAndCharges(t *testing.T) {
 	}
 	if m.CommCycles == 0 {
 		t.Error("no communication charged")
+	}
+}
+
+// Regression: out-of-range node ranks and plane indices must come back
+// as errors from Hops/Route/CopyWords, never as panics.
+func TestTopologyValidation(t *testing.T) {
+	m, _ := New(smallCfg(), 3)
+	for _, pair := range [][2]int{{-1, 0}, {0, -1}, {8, 0}, {0, 8}, {99, 99}} {
+		if _, err := m.Hops(pair[0], pair[1]); err == nil {
+			t.Errorf("Hops(%d, %d) accepted out-of-range rank", pair[0], pair[1])
+		}
+		if _, err := m.Route(pair[0], pair[1]); err == nil {
+			t.Errorf("Route(%d, %d) accepted out-of-range rank", pair[0], pair[1])
+		}
+	}
+	before := m.CommCycles
+	for _, tc := range []struct {
+		name                string
+		fromNode, fromPlane int
+		toNode, toPlane     int
+	}{
+		{"source rank low", -1, 0, 0, 0},
+		{"source rank high", 8, 0, 0, 0},
+		{"dest rank low", 0, 0, -1, 0},
+		{"dest rank high", 0, 0, 8, 0},
+		{"source plane", 0, -1, 1, 0},
+		{"dest plane", 0, 0, 1, 99},
+	} {
+		if err := m.CopyWords(tc.fromNode, tc.fromPlane, 0, tc.toNode, tc.toPlane, 0, 4); err == nil {
+			t.Errorf("CopyWords %s: out-of-range accepted", tc.name)
+		}
+	}
+	if m.CommCycles != before {
+		t.Error("failed copies charged communication")
 	}
 }
 
