@@ -6,6 +6,7 @@
 //
 //	nscsim [-subset] -prog prog.nscm [-max n] [-par n] [-load plane:addr:file] [-dump plane:addr:count]
 //	nscsim -jacobi n [-cube d] [-sweeps n] [-faults spec] [-checkpoint-every n] [-checkpoint file] [-restore file]
+//	nscsim -verify-checkpoint file
 //
 // -load fills a memory plane from a whitespace-separated list of
 // float64 values before the run; -dump prints plane contents after.
@@ -26,6 +27,15 @@
 // -checkpoint-every snapshots the solve at sweep boundaries,
 // -checkpoint persists the latest snapshot to a file, and -restore
 // resumes a solve from one.
+//
+// The exception subsystem is armed with -trap-policy (halt, retry or
+// quiet), -watchdog (a sequencer cycle budget per instruction) and
+// -ecc-faults, which seeds memory-plane ECC events on the -jacobi
+// driver ("rank:plane:addr:single|double", comma-separated). The
+// report then carries a "traps:" line with the event counters.
+// -verify-checkpoint checks every section checksum of a snapshot file
+// and exits; any flipped bit or truncation is reported with the
+// section name and byte offset.
 package main
 
 import (
@@ -69,6 +79,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ckEvery := fs.Int("checkpoint-every", 0, "snapshot the -jacobi solve every n sweeps")
 	ckPath := fs.String("checkpoint", "", "persist the latest -jacobi snapshot to this file")
 	restore := fs.String("restore", "", "resume the -jacobi solve from this snapshot file")
+	trapPolicy := fs.String("trap-policy", "", "exception policy: off, halt, retry or quiet")
+	watchdog := fs.Int64("watchdog", 0, "sequencer watchdog budget in cycles per instruction (0 = off)")
+	eccFaults := fs.String("ecc-faults", "", "seed ECC events for -jacobi: rank:plane:addr:{single|double},...")
+	verifyCk := fs.String("verify-checkpoint", "", "verify a snapshot file's section checksums and exit")
 	var loads, dumps multi
 	fs.Var(&loads, "load", "plane:addr:file — preload plane data")
 	fs.Var(&dumps, "dump", "plane:addr:count — print plane words after the run")
@@ -80,13 +94,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *subset {
 		cfg = arch.Subset()
 	}
+
+	if *verifyCk != "" {
+		ck, err := hypercube.VerifyCheckpointFile(*verifyCk)
+		if err != nil {
+			fmt.Fprintln(stderr, "nscsim:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "checkpoint %s: ok (sweep %d, %d rank(s), grid %d×%d×%d)\n",
+			*verifyCk, ck.Sweep, ck.P, ck.N, ck.N, ck.Nz)
+		return 0
+	}
+
+	pol, err := arch.ParseTrapPolicy(*trapPolicy)
+	if err != nil {
+		fmt.Fprintln(stderr, "nscsim:", err)
+		return 2
+	}
+	trap := arch.TrapConfig{Policy: pol, WatchdogCycles: *watchdog}
+
 	if *jacobiN > 0 {
-		err := runJacobi(stdout, cfg, *jacobiN, *cubeDim, *sweeps, *faults, *ckEvery, *ckPath, *restore)
+		err := runJacobi(stdout, cfg, *jacobiN, *cubeDim, *sweeps, *faults, *ckEvery, *ckPath, *restore, trap, *eccFaults)
 		if err != nil {
 			fmt.Fprintln(stderr, "nscsim:", err)
 			return 1
 		}
 		return 0
+	}
+	if *eccFaults != "" {
+		fmt.Fprintln(stderr, "nscsim: -ecc-faults needs the -jacobi driver")
+		return 2
 	}
 
 	if *progPath == "" {
@@ -105,6 +142,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "nscsim:", err)
 			return 1
 		}
+		n.TrapCfg = trap
 		nodes[i] = n
 	}
 	f, err := os.Open(*progPath)
@@ -171,6 +209,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	pc := node.PlanCacheStats()
 	fmt.Fprintf(stdout, "plan cache: %d compiled, %d hits, %d misses (decode-once engine)\n",
 		pc.Entries, pc.Hits, pc.Misses)
+	if trap.Armed() || !res.Traps.Zero() {
+		fmt.Fprintf(stdout, "traps: %s\n", res.Traps)
+	}
 
 	for _, d := range dumps {
 		plane, addr, countStr, err := splitRef(d)
@@ -199,7 +240,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // runJacobi drives the multi-node solver with the robustness knobs.
 func runJacobi(stdout io.Writer, cfg arch.Config, n, dim, sweeps int,
-	faultSpec string, ckEvery int, ckPath, restore string) error {
+	faultSpec string, ckEvery int, ckPath, restore string,
+	trap arch.TrapConfig, eccSpec string) error {
 	m, err := hypercube.New(cfg, dim)
 	if err != nil {
 		return err
@@ -207,6 +249,18 @@ func runJacobi(stdout io.Writer, cfg arch.Config, n, dim, sweeps int,
 	m.Workers = -1
 	m.StopAfter = sweeps
 	m.CheckpointEvery = ckEvery
+	m.Trap = trap
+	if eccSpec != "" {
+		faults, err := hypercube.ParseRankECCFaults(eccSpec)
+		if err != nil {
+			return err
+		}
+		for _, f := range faults {
+			if err := m.InjectECC(f.Rank, f.Fault); err != nil {
+				return err
+			}
+		}
+	}
 	if faultSpec != "" {
 		plan, err := hypercube.ParseFaultPlan(faultSpec)
 		if err != nil {
@@ -260,6 +314,7 @@ func runJacobi(stdout io.Writer, cfg arch.Config, n, dim, sweeps int,
 	fmt.Fprintf(stdout, "plan cache: %d compiled, %d hits, %d misses (decode-once engine)\n",
 		res.PlanCache.Entries, res.PlanCache.Hits, res.PlanCache.Misses)
 	fmt.Fprintf(stdout, "faults: %s\n", res.Faults)
+	fmt.Fprintf(stdout, "traps: %s\n", res.Traps)
 	return nil
 }
 

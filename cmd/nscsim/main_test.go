@@ -121,3 +121,83 @@ func jacobiLine(out string) string {
 	}
 	return ""
 }
+
+// TestJacobiECCRetryCLI: the ISSUE's worked example — a seeded
+// double-bit ECC fault under the retry policy converges to the same
+// solve line as the clean run, with the recovery on the traps line.
+func TestJacobiECCRetryCLI(t *testing.T) {
+	clean, _, _ := runCLI(t, "-jacobi", "8", "-cube", "1", "-sweeps", "6")
+	faulted, stderr, code := runCLI(t,
+		"-jacobi", "8", "-cube", "1", "-sweeps", "6",
+		"-trap-policy", "retry", "-ecc-faults", "1:0:70:double")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if jacobiLine(faulted) != jacobiLine(clean) {
+		t.Errorf("faulted solve diverged:\n%s\n%s", jacobiLine(faulted), jacobiLine(clean))
+	}
+	if !strings.Contains(faulted, "uncorrectable=1") || !strings.Contains(faulted, "retries=1") {
+		t.Errorf("traps line missing the recovery:\n%s", faulted)
+	}
+
+	// Halt policy: the same fault fails the run naming the site.
+	_, stderr, code = runCLI(t,
+		"-jacobi", "8", "-cube", "1", "-sweeps", "6",
+		"-trap-policy", "halt", "-ecc-faults", "1:0:70:double")
+	if code == 0 {
+		t.Fatal("halt policy exited 0 on an uncorrectable fault")
+	}
+	for _, frag := range []string{"node 1", "plane 0", "addr 70", "cycle"} {
+		if !strings.Contains(stderr, frag) {
+			t.Errorf("halt error %q does not name %q", stderr, frag)
+		}
+	}
+}
+
+// TestVerifyCheckpointCLI: -verify-checkpoint accepts a pristine
+// snapshot and rejects the same file with one flipped bit.
+func TestVerifyCheckpointCLI(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "solve.ckpt")
+	_, stderr, code := runCLI(t,
+		"-jacobi", "8", "-cube", "1", "-sweeps", "6", "-checkpoint-every", "2", "-checkpoint", ck)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	stdout, stderr, code := runCLI(t, "-verify-checkpoint", ck)
+	if code != 0 {
+		t.Fatalf("pristine snapshot rejected (exit %d): %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "ok") {
+		t.Errorf("verify output: %s", stdout)
+	}
+
+	data, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x04
+	if err := os.WriteFile(ck, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code = runCLI(t, "-verify-checkpoint", ck)
+	if code == 0 {
+		t.Fatal("corrupt snapshot verified")
+	}
+	if !strings.Contains(stderr, "corrupt") && !strings.Contains(stderr, "truncated") {
+		t.Errorf("corruption error: %s", stderr)
+	}
+}
+
+func TestTrapFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-jacobi", "8", "-trap-policy", "panic"},          // unknown policy
+		{"-jacobi", "8", "-ecc-faults", "1:0:70:triple"},   // bad ECC kind
+		{"-jacobi", "8", "-ecc-faults", "9:0:70:double"},   // rank off the cube
+		{"-prog", "x.nscm", "-ecc-faults", "0:0:1:single"}, // wrong mode
+		{"-verify-checkpoint", "/nonexistent/ck"},
+	} {
+		if _, _, code := runCLI(t, args...); code == 0 {
+			t.Errorf("args %v: exit 0, want failure", args)
+		}
+	}
+}

@@ -34,6 +34,9 @@ type Environment struct {
 	// Cube is the session's multi-node machine, built on demand by
 	// Hypercube. Nil until a multi-node solve is requested.
 	Cube *hypercube.Machine
+	// Trap is the session's exception policy, applied to the node and
+	// to any cube (including ones built later) by SetTrapPolicy.
+	Trap arch.TrapConfig
 }
 
 // New creates an environment for the given machine description.
@@ -102,8 +105,33 @@ func (env *Environment) Hypercube(dim int) (*hypercube.Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.Trap = env.Trap
 	env.Cube = m
 	return m, nil
+}
+
+// SetTrapPolicy arms (or disarms) exception detection for the whole
+// session: the single node immediately, and the cube's nodes at the
+// start of each multi-node solve.
+func (env *Environment) SetTrapPolicy(tc arch.TrapConfig) {
+	env.Trap = tc
+	env.Node.TrapCfg = tc
+	if env.Cube != nil {
+		env.Cube.Trap = tc
+	}
+}
+
+// TrapStats reports the cumulative exception/interrupt counters of the
+// session: the single node's events plus, when a cube was built, every
+// cube node's, merged in node order so the total is deterministic.
+func (env *Environment) TrapStats() sim.TrapStats {
+	st := env.Node.TrapCounters
+	if env.Cube != nil {
+		for _, nd := range env.Cube.Nodes {
+			st.Add(nd.TrapCounters)
+		}
+	}
+	return st
 }
 
 // FaultStats reports the cumulative fault/recovery counters of the

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -248,5 +249,43 @@ func TestHypercubeSession(t *testing.T) {
 	}
 	if env.FaultStats() != res.Faults {
 		t.Errorf("environment counters %+v != solve counters %+v", env.FaultStats(), res.Faults)
+	}
+}
+
+// TestTrapSession: the session-level trap policy reaches the node
+// immediately and any cube built later; TrapStats aggregates both.
+func TestTrapSession(t *testing.T) {
+	env := MustNew(arch.Default())
+	if !env.TrapStats().Zero() {
+		t.Error("fresh session has trap counters")
+	}
+	env.SetTrapPolicy(arch.TrapConfig{Policy: arch.TrapQuietNaN})
+
+	// Overflow two elements of the saxpy input: 3·MaxFloat64 → +Inf
+	// with finite operands, quieted and counted.
+	u := make([]float64, 256)
+	u[7], u[20] = math.MaxFloat64, math.MaxFloat64
+	if err := env.Node.WriteWords(0, 0, u); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := env.BuildAndRun(saxpyScript, 10); err != nil {
+		t.Fatal(err)
+	}
+	if st := env.TrapStats(); st.Overflow != 2 || st.Quieted != 2 {
+		t.Errorf("session traps = %s, want two quieted overflows", st)
+	}
+
+	// A cube built after SetTrapPolicy inherits the policy, and its
+	// nodes' counters fold into the session total.
+	m, err := env.Hypercube(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Trap.Policy != arch.TrapQuietNaN {
+		t.Errorf("cube policy = %v, want quiet", m.Trap.Policy)
+	}
+	m.Nodes[1].TrapCounters.ECCCorrected = 3
+	if st := env.TrapStats(); st.ECCCorrected != 3 || st.Overflow != 2 {
+		t.Errorf("aggregate traps = %s", st)
 	}
 }

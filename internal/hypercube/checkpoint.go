@@ -2,8 +2,10 @@ package hypercube
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 
@@ -20,9 +22,16 @@ import (
 // resumes to bit-identical results versus an uninterrupted run (see
 // checkpoint_test.go): the iterate planes are copied word-for-word and
 // every downstream arithmetic step is deterministic.
+//
+// On disk every section — header, residual history, fault counters,
+// each rank's grids — is followed by a CRC32 (IEEE) of its payload,
+// verified on read before any of the payload is trusted, so a
+// truncated or bit-flipped file can never silently restore garbage.
 
-// checkpointMagic identifies the on-disk snapshot format, version 1.
-const checkpointMagic = "NSCCKPT1"
+// checkpointMagic identifies the on-disk snapshot format: version 2 of
+// the NSCCKPT family, which added the per-section checksums and the
+// trap counters.
+const checkpointMagic = "NSCCKPT2"
 
 // Checkpoint is one sweep-boundary snapshot of a multi-node solve.
 type Checkpoint struct {
@@ -35,10 +44,11 @@ type Checkpoint struct {
 	// MachineCycles/CommCycles are the machine clocks at the boundary;
 	// simulated time keeps moving forward across a restart.
 	MachineCycles, CommCycles int64
-	// Faults and PlanCache carry the counters accumulated before the
-	// snapshot, so a run restored in a fresh process reports totals.
+	// Faults, PlanCache and Traps carry the counters accumulated before
+	// the snapshot, so a run restored in a fresh process reports totals.
 	Faults    FaultStats
 	PlanCache sim.PlanCacheStats
+	Traps     sim.TrapStats
 	// FaultFired is the fault plan's per-event firing counters: a
 	// restored run does not re-suffer faults it already survived.
 	FaultFired []int64
@@ -68,105 +78,214 @@ func (ck *Checkpoint) compatible(p, n, nz, slab int) error {
 	return nil
 }
 
-// WriteTo serializes the snapshot: the magic string, then every scalar
-// and slice as little-endian 64-bit words (float64s by bit pattern, so
-// restored grids are bit-identical).
-func (ck *Checkpoint) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
-	n := int64(0)
-	put := func(vs ...any) error {
-		for _, v := range vs {
-			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-				return err
-			}
-			n += int64(binary.Size(v))
-		}
-		return nil
-	}
-	if _, err := bw.WriteString(checkpointMagic); err != nil {
-		return n, err
-	}
-	n += int64(len(checkpointMagic))
-	err := put(
-		int64(ck.Sweep), int64(ck.P), int64(ck.N), int64(ck.Nz), int64(ck.Slab),
-		ck.MachineCycles, ck.CommCycles,
-		ck.Faults,
-		ck.PlanCache.Hits, ck.PlanCache.Misses, int64(ck.PlanCache.Entries),
-		int64(len(ck.Residuals)), ck.Residuals,
-		int64(len(ck.FaultFired)), ck.FaultFired,
-	)
-	if err != nil {
-		return n, err
-	}
-	for r := 0; r < ck.P; r++ {
-		if err := put(ck.U[r], ck.V[r]); err != nil {
-			return n, err
-		}
-	}
-	return n, bw.Flush()
+// checkpointHeader is the fixed-size first section: every scalar the
+// restore needs before it can size the variable sections.
+type checkpointHeader struct {
+	Sweep, P, N, Nz, Slab     int64
+	MachineCycles, CommCycles int64
+	Faults                    FaultStats
+	PlanHits, PlanMisses      int64
+	PlanEntries               int64
+	Traps                     sim.TrapStats
+	NRes, NFired              int64
 }
 
-// ReadCheckpoint deserializes a snapshot written by WriteTo.
+// encodeSection serializes values little-endian into one payload.
+func encodeSection(vs ...any) ([]byte, error) {
+	var buf bytes.Buffer
+	for _, v := range vs {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// sectionWriter appends payload+CRC32 sections, tracking the offset.
+type sectionWriter struct {
+	w   io.Writer
+	off int64
+}
+
+func (sw *sectionWriter) section(payload []byte) error {
+	if _, err := sw.w.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	if _, err := sw.w.Write(crc[:]); err != nil {
+		return err
+	}
+	sw.off += int64(len(payload)) + 4
+	return nil
+}
+
+// WriteTo serializes the snapshot: the magic string, then each section
+// (scalars and slices as little-endian 64-bit words, float64s by bit
+// pattern so restored grids are bit-identical) followed by its CRC32.
+func (ck *Checkpoint) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(checkpointMagic); err != nil {
+		return 0, err
+	}
+	sw := &sectionWriter{w: bw, off: int64(len(checkpointMagic))}
+	hdr := checkpointHeader{
+		Sweep: int64(ck.Sweep), P: int64(ck.P), N: int64(ck.N), Nz: int64(ck.Nz), Slab: int64(ck.Slab),
+		MachineCycles: ck.MachineCycles, CommCycles: ck.CommCycles,
+		Faults:   ck.Faults,
+		PlanHits: ck.PlanCache.Hits, PlanMisses: ck.PlanCache.Misses, PlanEntries: int64(ck.PlanCache.Entries),
+		Traps: ck.Traps,
+		NRes:  int64(len(ck.Residuals)), NFired: int64(len(ck.FaultFired)),
+	}
+	sections := [][]any{
+		{hdr},
+		{ck.Residuals},
+		{ck.FaultFired},
+	}
+	for r := 0; r < ck.P; r++ {
+		sections = append(sections, []any{ck.U[r], ck.V[r]})
+	}
+	for _, vs := range sections {
+		payload, err := encodeSection(vs...)
+		if err != nil {
+			return sw.off, err
+		}
+		if err := sw.section(payload); err != nil {
+			return sw.off, err
+		}
+	}
+	return sw.off, bw.Flush()
+}
+
+// sectionReader reads payload+CRC32 sections, verifying each checksum
+// before any of the payload is used and reporting precise offsets.
+type sectionReader struct {
+	r   io.Reader
+	off int64
+}
+
+func (sr *sectionReader) section(name string, size int64) ([]byte, error) {
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(sr.r, payload); err != nil {
+		return nil, fmt.Errorf("hypercube: checkpoint section %q truncated at offset %d: %w", name, sr.off, err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(sr.r, crc[:]); err != nil {
+		return nil, fmt.Errorf("hypercube: checkpoint section %q missing checksum at offset %d: %w",
+			name, sr.off+size, err)
+	}
+	want := binary.LittleEndian.Uint32(crc[:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("hypercube: checkpoint section %q corrupt at offset %d: crc 0x%08x, want 0x%08x",
+			name, sr.off, got, want)
+	}
+	sr.off += size + 4
+	return payload, nil
+}
+
+func (sr *sectionReader) decode(name string, size int64, vs ...any) error {
+	payload, err := sr.section(name, size)
+	if err != nil {
+		return err
+	}
+	br := bytes.NewReader(payload)
+	for _, v := range vs {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("hypercube: decoding checkpoint section %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// ReadCheckpoint deserializes a snapshot written by WriteTo, verifying
+// every section checksum.
 func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
-	br := bufio.NewReader(r)
+	ck, _, err := readCheckpoint(bufio.NewReader(r))
+	return ck, err
+}
+
+func readCheckpoint(br *bufio.Reader) (*Checkpoint, int64, error) {
 	magic := make([]byte, len(checkpointMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("hypercube: reading checkpoint magic: %w", err)
+		return nil, 0, fmt.Errorf("hypercube: reading checkpoint magic: %w", err)
 	}
 	if string(magic) != checkpointMagic {
-		return nil, fmt.Errorf("hypercube: not a checkpoint (magic %q)", magic)
+		return nil, 0, fmt.Errorf("hypercube: not a checkpoint (magic %q, want %q)", magic, checkpointMagic)
 	}
-	get := func(vs ...any) error {
-		for _, v := range vs {
-			if err := binary.Read(br, binary.LittleEndian, v); err != nil {
-				return err
-			}
-		}
-		return nil
+	sr := &sectionReader{r: br, off: int64(len(checkpointMagic))}
+	var hdr checkpointHeader
+	if err := sr.decode("header", int64(binary.Size(hdr)), &hdr); err != nil {
+		return nil, 0, err
 	}
-	ck := &Checkpoint{}
-	var sweep, p, n, nz, slab, entries, nres, nfired int64
-	var hits, misses int64
-	if err := get(&sweep, &p, &n, &nz, &slab, &ck.MachineCycles, &ck.CommCycles,
-		&ck.Faults, &hits, &misses, &entries, &nres); err != nil {
-		return nil, fmt.Errorf("hypercube: reading checkpoint header: %w", err)
+	ck := &Checkpoint{
+		Sweep: int(hdr.Sweep), P: int(hdr.P), N: int(hdr.N), Nz: int(hdr.Nz), Slab: int(hdr.Slab),
+		MachineCycles: hdr.MachineCycles, CommCycles: hdr.CommCycles,
+		Faults:    hdr.Faults,
+		PlanCache: sim.PlanCacheStats{Hits: hdr.PlanHits, Misses: hdr.PlanMisses, Entries: int(hdr.PlanEntries)},
+		Traps:     hdr.Traps,
 	}
-	ck.Sweep, ck.P, ck.N, ck.Nz, ck.Slab = int(sweep), int(p), int(n), int(nz), int(slab)
-	ck.PlanCache = sim.PlanCacheStats{Hits: hits, Misses: misses, Entries: int(entries)}
+	// The checksum proves integrity, not honesty: a hand-forged file can
+	// carry valid CRCs over absurd shapes, so the caps stay.
 	const maxSane = 1 << 30
-	if p < 0 || p > 1<<10 || n < 0 || n > maxSane || nz < 0 || nz > maxSane ||
-		slab < 0 || slab > maxSane || nres < 0 || nres > maxSane ||
-		int64(ck.planeWords()) > maxSane {
-		return nil, fmt.Errorf("hypercube: checkpoint header out of range (P=%d N=%d Nz=%d slab=%d)", p, n, nz, slab)
+	if hdr.P < 0 || hdr.P > 1<<10 || hdr.N < 0 || hdr.N > maxSane || hdr.Nz < 0 || hdr.Nz > maxSane ||
+		hdr.Slab < 0 || hdr.Slab > maxSane || int64(ck.planeWords()) > maxSane {
+		return nil, 0, fmt.Errorf("hypercube: checkpoint header out of range (P=%d N=%d Nz=%d slab=%d)",
+			hdr.P, hdr.N, hdr.Nz, hdr.Slab)
+	}
+	if hdr.NRes < 0 || hdr.NRes > maxSane || hdr.NFired < 0 || hdr.NFired > maxSane {
+		return nil, 0, fmt.Errorf("hypercube: checkpoint counts out of range (residuals=%d fired=%d)",
+			hdr.NRes, hdr.NFired)
 	}
 	// Empty blocks stay nil so a round trip reproduces the original
-	// struct exactly.
-	if nres > 0 {
-		ck.Residuals = make([]float64, nres)
+	// struct exactly; their (empty) sections are still CRC-verified.
+	if hdr.NRes > 0 {
+		ck.Residuals = make([]float64, hdr.NRes)
 	}
-	if err := get(ck.Residuals, &nfired); err != nil {
-		return nil, fmt.Errorf("hypercube: reading checkpoint residuals: %w", err)
+	if err := sr.decode("residuals", hdr.NRes*8, ck.Residuals); err != nil {
+		return nil, 0, err
 	}
-	if nfired < 0 || nfired > maxSane {
-		return nil, fmt.Errorf("hypercube: checkpoint fired-counter count %d out of range", nfired)
+	if hdr.NFired > 0 {
+		ck.FaultFired = make([]int64, hdr.NFired)
 	}
-	if nfired > 0 {
-		ck.FaultFired = make([]int64, nfired)
-		if err := get(ck.FaultFired); err != nil {
-			return nil, fmt.Errorf("hypercube: reading checkpoint fault counters: %w", err)
-		}
+	if err := sr.decode("fault-counters", hdr.NFired*8, ck.FaultFired); err != nil {
+		return nil, 0, err
 	}
-	words := ck.planeWords()
+	words := int64(ck.planeWords())
 	for r := 0; r < ck.P; r++ {
 		u := make([]float64, words)
 		v := make([]float64, words)
-		if err := get(u, v); err != nil {
-			return nil, fmt.Errorf("hypercube: reading checkpoint rank %d grids: %w", r, err)
+		if err := sr.decode(fmt.Sprintf("rank %d", r), 2*words*8, u, v); err != nil {
+			return nil, 0, err
 		}
 		ck.U = append(ck.U, u)
 		ck.V = append(ck.V, v)
 	}
+	return ck, sr.off, nil
+}
+
+// VerifyCheckpoint reads a complete checkpoint stream, verifying every
+// section checksum and rejecting trailing bytes after the last
+// section. It returns the verified snapshot.
+func VerifyCheckpoint(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
+	ck, off, err := readCheckpoint(br)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("hypercube: checkpoint has trailing data after the final section (offset %d)", off)
+	}
 	return ck, nil
+}
+
+// VerifyCheckpointFile is VerifyCheckpoint over a file.
+func VerifyCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return VerifyCheckpoint(f)
 }
 
 // SaveCheckpointFile writes the snapshot to path atomically (write to

@@ -53,16 +53,18 @@ const (
 	ReduceMin
 )
 
-func (op ReduceOp) apply(a, b float64) float64 {
+func (op ReduceOp) apply(a, b float64) (float64, error) {
 	switch op {
 	case ReduceSum:
-		return a + b
+		return a + b, nil
 	case ReduceMax:
-		return math.Max(a, b)
+		return math.Max(a, b), nil
 	case ReduceMin:
-		return math.Min(a, b)
+		return math.Min(a, b), nil
 	}
-	return math.NaN()
+	// An unknown operator must surface as an error, not poison the
+	// whole reduction with silently-spreading NaNs.
+	return 0, fmt.Errorf("hypercube: unknown reduce op %d", int(op))
 }
 
 // AllReduce combines `count` words at plane/addr across all nodes with
@@ -85,7 +87,11 @@ func (m *Machine) AllReduce(plane int, addr int64, count int, op ReduceOp) error
 			peer := n ^ bit
 			combined := make([]float64, count)
 			for i := 0; i < count; i++ {
-				combined[i] = op.apply(snap[n][i], snap[peer][i])
+				v, err := op.apply(snap[n][i], snap[peer][i])
+				if err != nil {
+					return err
+				}
+				combined[i] = v
 			}
 			if err := m.Nodes[n].WriteWords(plane, addr, combined); err != nil {
 				return err

@@ -66,8 +66,15 @@ func TestAllReduceOps(t *testing.T) {
 			}
 		}
 	}
-	if !math.IsNaN(ReduceOp(99).apply(1, 2)) {
-		t.Error("unknown op should yield NaN")
+	if _, err := ReduceOp(99).apply(1, 2); err == nil {
+		t.Error("unknown op should return an error, not poison the reduction")
+	}
+	bad, err := New(smallCfg(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.AllReduce(0, 0, 1, ReduceOp(99)); err == nil {
+		t.Error("AllReduce with unknown op succeeded")
 	}
 }
 

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"strconv"
+	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/codegen"
@@ -78,6 +80,11 @@ type Machine struct {
 	// FaultCounters accumulates fault/recovery counters across
 	// completed solves on this machine.
 	FaultCounters FaultStats
+
+	// Trap is the node-level exception policy, applied to every node at
+	// the start of each solve. The zero value (policy off) keeps the
+	// exact seed behaviour.
+	Trap arch.TrapConfig
 }
 
 // New builds a hypercube of 2^dim nodes.
@@ -217,6 +224,10 @@ type JacobiResult struct {
 	// Faults counts injected faults and the recovery work they caused;
 	// all-zero on fault-free runs.
 	Faults FaultStats
+	// Traps aggregates the nodes' exception counters in rank order
+	// (plus any counters carried in from a restored checkpoint), so
+	// parallel runs report identical totals.
+	Traps sim.TrapStats
 }
 
 // SolveJacobi runs the paper's example problem on the hypercube with a
@@ -235,6 +246,9 @@ type JacobiResult struct {
 // residual histories to fault-free runs; only the cycle counts grow.
 func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 	p := m.P()
+	for _, nd := range m.Nodes {
+		nd.TrapCfg = m.Trap
+	}
 	inner := global.Nz - 2
 	if inner <= 0 || inner%p != 0 {
 		return nil, fmt.Errorf("hypercube: %d interior planes do not divide across %d nodes", inner, p)
@@ -303,6 +317,7 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 	var fst FaultStats  // this solve's live counters
 	var base FaultStats // counters carried in from a restored snapshot
 	var pcBase sim.PlanCacheStats
+	var trapBase sim.TrapStats
 	var deltas []FaultStats
 	var budget []*BudgetError
 	if m.Faults != nil {
@@ -345,6 +360,7 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 		m.Faults.setFired(ck.FaultFired)
 		base = ck.Faults
 		pcBase = ck.PlanCache
+		trapBase = ck.Traps
 		m.LastCheckpoint = ck
 	}
 
@@ -376,7 +392,7 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 			fst.Checkpoints++
 			combined := base
 			combined.add(fst)
-			ck, err := m.snapshot(it, slab, global, res.ResidualSeries, combined, pcBase)
+			ck, err := m.snapshot(it, slab, global, res.ResidualSeries, combined, pcBase, trapBase)
 			if err != nil {
 				return nil, err
 			}
@@ -626,6 +642,10 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 	res.Faults = base
 	res.Faults.add(fst)
 	m.FaultCounters.add(fst)
+	res.Traps = trapBase
+	for r := 0; r < p; r++ {
+		res.Traps.Add(m.Nodes[node(r)].TrapCounters)
+	}
 	res.Cycles = m.MachineCycles
 	if res.Cycles > 0 {
 		res.GFLOPS = float64(res.TotalFLOPs) / (float64(res.Cycles) / m.Cfg.ClockHz) / 1e9
@@ -726,7 +746,7 @@ func (m *Machine) corruptWords(nd, plane int, addr int64, count int) error {
 // planes, the residual history, the machine clocks and the fault/plan
 // counters.
 func (m *Machine) snapshot(it, slab int, global *jacobi.Problem,
-	series []float64, faults FaultStats, pcBase sim.PlanCacheStats) (*Checkpoint, error) {
+	series []float64, faults FaultStats, pcBase sim.PlanCacheStats, trapBase sim.TrapStats) (*Checkpoint, error) {
 	nn := global.N * global.N
 	ck := &Checkpoint{
 		Sweep: it, P: m.P(), N: global.N, Nz: global.Nz, Slab: slab,
@@ -756,12 +776,38 @@ func (m *Machine) snapshot(it, slab int, global *jacobi.Problem,
 		ck.PlanCache.Misses += st.Misses
 		ck.PlanCache.Entries += st.Entries
 	}
+	ck.Traps = trapBase
+	for r := 0; r < m.P(); r++ {
+		ck.Traps.Add(m.Nodes[node(r)].TrapCounters)
+	}
 	return ck, nil
+}
+
+// ValidateCheckpoint rejects snapshots whose header declares more
+// ranks or larger planes than this machine provides — a forged or
+// mismatched file must fail with a clear error, never an index panic
+// or a partial restore.
+func (m *Machine) ValidateCheckpoint(ck *Checkpoint) error {
+	if ck.P > m.P() {
+		return fmt.Errorf("hypercube: checkpoint declares %d ranks, machine has %d nodes", ck.P, m.P())
+	}
+	if len(ck.U) != ck.P || len(ck.V) != ck.P {
+		return fmt.Errorf("hypercube: checkpoint holds %d/%d node grids, header declares %d ranks",
+			len(ck.U), len(ck.V), ck.P)
+	}
+	if w := int64(ck.planeWords()); w > m.Cfg.PlaneWords() {
+		return fmt.Errorf("hypercube: checkpoint planes of %d words exceed the machine's %d-word planes",
+			w, m.Cfg.PlaneWords())
+	}
+	return nil
 }
 
 // applyCheckpoint writes a snapshot's iterate planes back into the
 // nodes (ranks mapped through the Gray code, as everywhere else).
 func (m *Machine) applyCheckpoint(ck *Checkpoint) error {
+	if err := m.ValidateCheckpoint(ck); err != nil {
+		return err
+	}
 	for r := 0; r < ck.P; r++ {
 		if err := m.Nodes[node(r)].WriteWords(jacobi.PlaneU, 0, ck.U[r]); err != nil {
 			return err
@@ -786,6 +832,49 @@ func pairsOfParity(p, parity int) []int {
 		pairs = append(pairs, r)
 	}
 	return pairs
+}
+
+// InjectECC arms seeded memory-plane ECC events on ring rank r (the
+// rank is mapped through the Gray code like all ring addressing).
+func (m *Machine) InjectECC(r int, faults ...sim.ECCFault) error {
+	if err := m.checkRank("ECC fault", r); err != nil {
+		return err
+	}
+	return m.Nodes[node(r)].InjectECC(faults...)
+}
+
+// RankECCFault is one parsed -ecc-faults entry: an ECC event aimed at
+// a ring rank.
+type RankECCFault struct {
+	Rank  int
+	Fault sim.ECCFault
+}
+
+// ParseRankECCFaults parses the nscsim -ecc-faults syntax: a
+// comma-separated list of "rank:plane:addr:single|double".
+func ParseRankECCFaults(spec string) ([]RankECCFault, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var out []RankECCFault
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		i := strings.Index(tok, ":")
+		if i < 0 {
+			return nil, fmt.Errorf("hypercube: ECC fault %q: want rank:plane:addr:single|double", tok)
+		}
+		rank, err := strconv.Atoi(tok[:i])
+		if err != nil {
+			return nil, fmt.Errorf("hypercube: ECC fault rank %q: %w", tok[:i], err)
+		}
+		fs, err := sim.ParseECCFaults(tok[i+1:])
+		if err != nil || len(fs) != 1 {
+			return nil, fmt.Errorf("hypercube: ECC fault %q: want rank:plane:addr:single|double", tok)
+		}
+		out = append(out, RankECCFault{Rank: rank, Fault: fs[0]})
+	}
+	return out, nil
 }
 
 // PeakGFLOPS returns the machine's aggregate peak rate.

@@ -60,6 +60,10 @@ type Problem struct {
 	// VarBase offsets every variable within its plane, letting several
 	// problem instances (e.g. multigrid levels) coexist on one node.
 	VarBase int64
+
+	// Trap selects the node's exception policy for Run (zero value:
+	// traps off, matching the paper's uninstrumented machine).
+	Trap arch.TrapConfig
 }
 
 // Index flattens (i, j, k) with i fastest: i + j·N + k·N².
@@ -286,6 +290,9 @@ type Result struct {
 	// ping-pong solver dispatches two distinct sweep instructions
 	// hundreds of times, so Hits ≈ Iterations − Misses.
 	PlanCache sim.PlanCacheStats
+	// Traps counts the exception/interrupt events raised during the
+	// run (all zero when Problem.Trap leaves detection off).
+	Traps sim.TrapStats
 }
 
 // Load writes the problem arrays into the node's memory planes.
@@ -319,13 +326,18 @@ func (p *Problem) Run(cfg arch.Config) (*Result, error) {
 	if err := p.Load(node); err != nil {
 		return nil, err
 	}
+	node.TrapCfg = p.Trap
 	res, err := node.Run(prog, int64(2*p.MaxIter+4))
 	if err != nil {
-		return nil, err
+		// Surface the counters gathered before the abort — a trap
+		// error's context (events quieted, retries priced) is exactly
+		// what the caller needs to report.
+		return &Result{Stats: node.Stats, PlanCache: node.PlanCacheStats(),
+			Traps: res.Traps}, err
 	}
 
 	out := &Result{Stats: node.Stats, MFLOPS: node.Stats.MFLOPS(cfg.ClockHz),
-		PlanCache: node.PlanCacheStats()}
+		PlanCache: node.PlanCacheStats(), Traps: res.Traps}
 	for _, pi := range rep.Pipes {
 		if pi.FillCycles > out.FillCycles {
 			out.FillCycles = pi.FillCycles

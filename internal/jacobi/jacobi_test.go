@@ -1,6 +1,7 @@
 package jacobi
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -297,4 +298,55 @@ func microcodeFormatBits(t *testing.T, cfg arch.Config) int {
 	t.Helper()
 	g := codegen.New(arch.MustInventory(cfg))
 	return g.F.Bits
+}
+
+// TestRunTrapPolicyThreading: Problem.Trap reaches the node and the
+// event counts come back on Result.Traps. MaxFloat64 seeds in the
+// interior overflow the neighbour sum with finite operands — a
+// genuine new exception, not a propagated one.
+func TestRunTrapPolicyThreading(t *testing.T) {
+	cfg := arch.Default()
+	mk := func(pol arch.TrapPolicy) *Problem {
+		p := NewModelProblem(5, 1e-4, 10)
+		// Two opposite neighbours of (2,2,2): its neighbour sum adds
+		// MaxFloat64 + MaxFloat64 and rounds to +Inf.
+		p.U0[p.Index(1, 2, 2)] = math.MaxFloat64
+		p.U0[p.Index(3, 2, 2)] = math.MaxFloat64
+		p.Trap = arch.TrapConfig{Policy: pol}
+		return p
+	}
+
+	// Quiet: the poisoned solve never aborts — it burns its iteration
+	// budget with the overflow events counted on the partial result.
+	res, err := mk(arch.TrapQuietNaN).Run(cfg)
+	if err == nil {
+		t.Fatal("poisoned problem converged")
+	}
+	var te *sim.TrapError
+	if errors.As(err, &te) {
+		t.Fatalf("quiet policy aborted with a trap: %v", err)
+	}
+	if res == nil || res.Traps.Overflow == 0 || res.Traps.Quieted == 0 {
+		t.Errorf("traps = %v, want overflow events", res)
+	}
+
+	// Halt: the run aborts with the structured error.
+	_, err = mk(arch.TrapHalt).Run(cfg)
+	if !errors.As(err, &te) {
+		t.Fatalf("halt policy error = %v, want *sim.TrapError", err)
+	}
+	if te.Trap.Kind != sim.TrapOverflow {
+		t.Errorf("trap kind %v, want overflow", te.Trap.Kind)
+	}
+
+	// A clean armed run raises nothing and reports all-zero counters.
+	p := NewModelProblem(5, 1e-4, 200)
+	p.Trap = arch.TrapConfig{Policy: arch.TrapHalt}
+	clean, err := p.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.Converged || !clean.Traps.Zero() {
+		t.Errorf("clean armed run: converged=%v traps=%s", clean.Converged, clean.Traps)
+	}
 }

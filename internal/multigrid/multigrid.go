@@ -124,6 +124,9 @@ type Result struct {
 	PlanCache sim.PlanCacheStats
 	// Checkpoints counts V-cycle boundary snapshots taken.
 	Checkpoints int
+	// Traps counts the exception/interrupt events raised during Run
+	// (arm detection via Solver.Node.TrapCfg; zero when traps are off).
+	Traps sim.TrapStats
 }
 
 // New builds a solver for an n×n×n fine grid (n = 2^k+1) with the
@@ -366,6 +369,7 @@ func (s *Solver) vcycle(l int) error {
 func (s *Solver) Run() (*Result, error) {
 	fine := s.Levels[0]
 	res := &Result{}
+	trapBase := s.Node.TrapCounters
 	start := 0
 	if ck := s.Restore; ck != nil {
 		if err := s.applyCheckpoint(ck); err != nil {
@@ -409,6 +413,7 @@ func (s *Solver) Run() (*Result, error) {
 	res.U = u
 	res.Stats = s.Node.Stats
 	res.PlanCache = s.Node.PlanCacheStats()
+	res.Traps = s.Node.TrapCounters.Sub(trapBase)
 	if !res.Converged {
 		return res, fmt.Errorf("multigrid: no convergence in %d V-cycles (residual %g)", res.VCycles, res.Residual)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/jacobi"
+	"repro/internal/sim"
 )
 
 func TestTransferOperators(t *testing.T) {
@@ -266,5 +267,48 @@ func TestCheckpointRejectsWrongGrid(t *testing.T) {
 	s.Restore = &Checkpoint{Cycle: 1, N: 17, U: make([]float64, 17*17*17)}
 	if _, err := s.Run(); err == nil {
 		t.Error("wrong-grid checkpoint accepted")
+	}
+}
+
+// TestRunReportsTraps: an ECC event on the solver node under the retry
+// policy recovers to a bit-identical solve, with the recovery counted
+// on Result.Traps.
+func TestRunReportsTraps(t *testing.T) {
+	cfg := arch.Default()
+	clean, err := New(cfg, 9, 2, 1e-6, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean.Node.TrapCfg = arch.TrapConfig{Policy: arch.TrapRetry}
+	cleanRes, err := clean.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cleanRes.Traps.Zero() {
+		t.Errorf("clean armed solve raised traps: %s", cleanRes.Traps)
+	}
+
+	s, err := New(cfg, 9, 2, 1e-6, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Node.TrapCfg = arch.TrapConfig{Policy: arch.TrapRetry}
+	if err := s.Node.InjectECC(sim.ECCFault{Plane: jacobi.PlaneU, Addr: 40, Double: true}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Traps.ECCUncorrectable != 1 || res.Traps.Retries != 1 || res.Traps.Halts != 0 {
+		t.Errorf("traps = %s, want one recovered ECC event", res.Traps)
+	}
+	for g := range cleanRes.U {
+		if res.U[g] != cleanRes.U[g] {
+			t.Fatalf("u[%d] = %g, clean %g", g, res.U[g], cleanRes.U[g])
+		}
+	}
+	if res.Stats.Cycles <= cleanRes.Stats.Cycles {
+		t.Errorf("recovery was free: %d vs %d cycles", res.Stats.Cycles, cleanRes.Stats.Cycles)
 	}
 }

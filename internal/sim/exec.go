@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/arch"
@@ -39,7 +38,10 @@ func (n *Node) ExecUncached(in *microcode.Instr) error {
 	return n.run(pl)
 }
 
-// run executes a compiled plan against the node state.
+// run executes a compiled plan against the node state. Sink writes,
+// reduction registers and cache swaps commit only after evaluate
+// completes, so an attempt aborted by a trap is side-effect free and a
+// re-dispatch under the retry policy starts from identical state.
 func (n *Node) run(pl *ExecPlan) error {
 	cfg := n.Cfg
 	if pl.control {
@@ -49,9 +51,44 @@ func (n *Node) run(pl *ExecPlan) error {
 		return n.finishInstr(pl.seq, pl.cmpTh)
 	}
 
+	tc := n.TrapCfg
+	// Sequencer watchdog: an ExecPlan's drain point is known before the
+	// first cycle streams, so the budget check is static per dispatch.
+	// Fatal under the halt policy; an alarm interrupt under the rest.
+	if tc.WatchdogCycles > 0 && int64(pl.T)+int64(cfg.IssueOverheadCycles) > tc.WatchdogCycles {
+		n.TrapCounters.Watchdog++
+		tr := &Trap{Kind: TrapWatchdog, Cycle: pl.T, At: n.Stats.Cycles}
+		n.recordTrap(tr)
+		if tc.Policy == arch.TrapHalt {
+			n.TrapCounters.Halts++
+			return &TrapError{Trap: *tr, Attempts: 1}
+		}
+	}
+
 	sc := n.scratchFor(pl)
-	if err := n.evaluate(pl, sc); err != nil {
-		return err
+	detect := pl.trapArmed || tc.Armed()
+	rc := tc.WithDefaults()
+	for attempt := 0; ; attempt++ {
+		tr, err := n.evaluate(pl, sc, detect)
+		if err != nil {
+			return err
+		}
+		if tr == nil {
+			break
+		}
+		// Price the aborted attempt: the issue overhead plus every cycle
+		// streamed before the trap fired.
+		wasted := int64(cfg.IssueOverheadCycles) + int64(tr.Cycle) + 1
+		n.Stats.Cycles += wasted
+		if tc.Policy == arch.TrapRetry && tr.Kind != TrapUnknownOp && attempt < rc.MaxRetries {
+			b := rc.Backoff(attempt)
+			n.Stats.Cycles += b
+			n.TrapCounters.Retries++
+			n.TrapCounters.RetryCycles += wasted + b
+			continue
+		}
+		n.TrapCounters.Halts++
+		return &TrapError{Trap: *tr, Attempts: attempt + 1}
 	}
 
 	// --- Commit sinks. ---
@@ -134,7 +171,13 @@ func (n *Node) finishInstr(s microcode.Seq, th float64) error {
 // functional unit has latency ≥ 1 and every SDU tap delays ≥ 1 cycle,
 // the value at cycle c depends only on values at cycles < c, so a
 // single pass over cycles suffices regardless of topology.
-func (n *Node) evaluate(pl *ExecPlan, sc *runScratch) error {
+//
+// With detect set (microcode trap bit or an armed trap policy),
+// IEEE-754 exception conditions are classified per functional-unit
+// application; a returned *Trap means the attempt aborted and may be
+// re-dispatched by run. Node state other than trap counters and the
+// IRQ log is untouched on abort — commits happen in run, afterwards.
+func (n *Node) evaluate(pl *ExecPlan, sc *runScratch, detect bool) (*Trap, error) {
 	// Reduction accumulators are per-execution state, not plan state.
 	type redState struct {
 		acc   float64
@@ -166,7 +209,28 @@ func (n *Node) evaluate(pl *ExecPlan, sc *runScratch) error {
 			case e < 0:
 				// suppressed lead-in reads as zero, valid
 			case s.kind == srcMem:
-				v, _ = n.Mem[s.plane].Read(s.addr + e*s.strd)
+				addr := s.addr + e*s.strd
+				v, _ = n.Mem[s.plane].Read(addr)
+				// Modeled ECC sits on the plane's DMA read port: armed
+				// events fire once each; single-bit flips are corrected in
+				// flight, double-bit flips are uncorrectable.
+				if n.ecc != nil {
+					if f, hit := n.takeECC(s.plane, addr); hit {
+						if !f.Double {
+							n.TrapCounters.ECCCorrected++
+						} else {
+							n.TrapCounters.ECCUncorrectable++
+							tr := &Trap{Kind: TrapECC, Plane: s.plane, Addr: addr,
+								Element: e, Cycle: c, At: n.Stats.Cycles + int64(c)}
+							n.recordTrap(tr)
+							if n.TrapCfg.Policy != arch.TrapQuietNaN {
+								return tr, nil
+							}
+							n.TrapCounters.Quieted++
+							v = math.NaN()
+						}
+					}
+				}
 			default:
 				v, _ = n.Cache[s.plane].Read(s.buf, s.addr+e*s.strd)
 			}
@@ -214,7 +278,16 @@ func (n *Node) evaluate(pl *ExecPlan, sc *runScratch) error {
 			if p.arity == 0 {
 				valid = true
 			}
-			v := apply(p.op, a, b)
+			v, known := apply(p.op, a, b)
+			if !known {
+				// An opcode the run layer cannot execute is a hardware
+				// fault, not a data exception: fatal under every policy,
+				// never retried, never quieted into the stream.
+				n.TrapCounters.UnknownOp++
+				tr := n.fpTrap(pl, sc, p, TrapUnknownOp, c)
+				n.recordTrap(tr)
+				return tr, nil
+			}
 			if p.reduce {
 				if aOK {
 					red.acc = v
@@ -224,74 +297,130 @@ func (n *Node) evaluate(pl *ExecPlan, sc *runScratch) error {
 			} else {
 				sc.val[p.out][c], sc.ok[p.out][c] = v, valid
 			}
-			if pl.trapArmed && valid && (math.IsNaN(v) || math.IsInf(v, 0)) {
-				n.IRQs = append(n.IRQs, Interrupt{Cycle: n.Stats.Cycles + int64(c)})
-				return fmt.Errorf("sim: fu%d (%s) raised a floating-point exception at cycle %d (trap armed)",
-					p.fu, p.op, c)
+			// Fast gate: only NaN, Inf and subnormal results (exponent
+			// field all-ones or all-zeros with a nonzero mantissa) can be
+			// exceptions, so clean streams pay one bit test per result.
+			if e := math.Float64bits(v) >> 52 & 0x7ff; detect && valid && (e == 0x7ff || (e == 0 && v != 0)) {
+				arity := p.arity
+				if p.reduce {
+					arity = 2 // the accumulator is a real operand
+				}
+				kind, isNew := classifyFP(p.op, a, b, arity, v)
+				if isNew {
+					n.countTrapKind(kind)
+				}
+				// The microcode trap bit keeps its hardware semantics:
+				// any non-finite result aborts the instruction, even one
+				// merely propagating a poisoned operand.
+				if pl.trapArmed && (math.IsNaN(v) || math.IsInf(v, 0)) {
+					if !isNew {
+						if math.IsNaN(v) {
+							kind = TrapInvalid
+						} else {
+							kind = TrapOverflow
+						}
+					}
+					tr := n.fpTrap(pl, sc, p, kind, c)
+					n.recordTrap(tr)
+					return tr, nil
+				}
+				// Underflow is gradual and IEEE-correct: counted above,
+				// never recorded or aborted under any policy.
+				if isNew && kind != TrapUnderflow {
+					tr := n.fpTrap(pl, sc, p, kind, c)
+					switch n.TrapCfg.Policy {
+					case arch.TrapQuietNaN:
+						n.recordTrap(tr)
+						n.TrapCounters.Quieted++
+					case arch.TrapHalt, arch.TrapRetry:
+						n.recordTrap(tr)
+						return tr, nil
+					}
+				}
 			}
 			if tracer != nil {
 				tracer(pl.srcID[p.out], c, sc.val[p.out][c], sc.ok[p.out][c])
 			}
 		}
 	}
-	return nil
+	return nil, nil
 }
 
-// apply computes one functional-unit operation.
-func apply(op arch.Op, a, b float64) float64 {
+// fpTrap builds the trap record for a functional-unit exception at
+// cycle c. The element index is the count of valid results the unit
+// produced before the fault — computed only on the trap path, so the
+// clean path pays nothing for it.
+func (n *Node) fpTrap(pl *ExecPlan, sc *runScratch, p *planFU, kind TrapKind, c int) *Trap {
+	var elem int64
+	for i := 0; i < c; i++ {
+		if sc.ok[p.out][i] {
+			elem++
+		}
+	}
+	return &Trap{
+		Kind: kind, Op: p.op, FU: p.fu, ALS: n.Inv.FUs[p.fu].ALS,
+		Element: elem, Cycle: c, At: n.Stats.Cycles + int64(c),
+	}
+}
+
+// apply computes one functional-unit operation. The second result is
+// false when the opcode has no run-layer implementation — a hardware
+// fault the caller must raise as TrapUnknownOp rather than letting a
+// NaN poison the stream silently.
+func apply(op arch.Op, a, b float64) (float64, bool) {
 	switch op {
 	case arch.OpNop:
-		return 0
+		return 0, true
 	case arch.OpMov:
-		return a
+		return a, true
 	case arch.OpAdd:
-		return a + b
+		return a + b, true
 	case arch.OpSub:
-		return a - b
+		return a - b, true
 	case arch.OpMul:
-		return a * b
+		return a * b, true
 	case arch.OpDiv:
-		return a / b
+		return a / b, true
 	case arch.OpNeg:
-		return -a
+		return -a, true
 	case arch.OpAbs:
-		return math.Abs(a)
+		return math.Abs(a), true
 	case arch.OpFMA:
-		return a*b + 0 // accumulate path handled via reduce feedback
+		return a*b + 0, true // accumulate path handled via reduce feedback
 	case arch.OpRecip:
-		return 1 / a
+		return 1 / a, true
 	case arch.OpIAdd:
-		return float64(int64(a) + int64(b))
+		return float64(int64(a) + int64(b)), true
 	case arch.OpISub:
-		return float64(int64(a) - int64(b))
+		return float64(int64(a) - int64(b)), true
 	case arch.OpIMul:
-		return float64(int64(a) * int64(b))
+		return float64(int64(a) * int64(b)), true
 	case arch.OpAnd:
-		return float64(int64(a) & int64(b))
+		return float64(int64(a) & int64(b)), true
 	case arch.OpOr:
-		return float64(int64(a) | int64(b))
+		return float64(int64(a) | int64(b)), true
 	case arch.OpXor:
-		return float64(int64(a) ^ int64(b))
+		return float64(int64(a) ^ int64(b)), true
 	case arch.OpShl:
-		return float64(int64(a) << uint(int64(b)&63))
+		return float64(int64(a) << uint(int64(b)&63)), true
 	case arch.OpShr:
-		return float64(uint64(int64(a)) >> uint(int64(b)&63))
+		return float64(uint64(int64(a)) >> uint(int64(b)&63)), true
 	case arch.OpCmpLT:
 		if a < b {
-			return 1
+			return 1, true
 		}
-		return 0
+		return 0, true
 	case arch.OpCmpEQ:
 		if a == b {
-			return 1
+			return 1, true
 		}
-		return 0
+		return 0, true
 	case arch.OpMax:
-		return math.Max(a, b)
+		return math.Max(a, b), true
 	case arch.OpMin:
-		return math.Min(a, b)
+		return math.Min(a, b), true
 	case arch.OpMaxAbs:
-		return math.Max(math.Abs(a), math.Abs(b))
+		return math.Max(math.Abs(a), math.Abs(b)), true
 	}
-	return math.NaN()
+	return math.NaN(), false
 }

@@ -101,10 +101,13 @@ func (db *DoubleBuffer) Write(b int, addr int64, v float64) error {
 // Swap exchanges the two buffers.
 func (db *DoubleBuffer) Swap() { db.bufs[0], db.bufs[1] = db.bufs[1], db.bufs[0] }
 
-// Interrupt records a completion interrupt raised by an instruction.
+// Interrupt records an interrupt raised by an instruction: either a
+// completion interrupt (Trap nil) or an exception record.
 type Interrupt struct {
 	PC    int
 	Cycle int64
+	// Trap, when non-nil, is the exception record behind this interrupt.
+	Trap *Trap
 }
 
 // Stats accumulates execution accounting across instructions.
@@ -172,6 +175,16 @@ type Node struct {
 	plans                map[string]*ExecPlan
 	scratch              map[*ExecPlan]*runScratch
 	planHits, planMisses int64
+
+	// TrapCfg selects the node's exception-handling policy (zero value:
+	// seed behaviour, detection off). TrapCounters accumulates every
+	// detected condition; ecc holds armed fire-once memory-plane
+	// events keyed by (plane, addr); trapRecords counts Trap entries
+	// appended to IRQs (bounded by maxTrapRecords).
+	TrapCfg      arch.TrapConfig
+	TrapCounters TrapStats
+	ecc          map[eccKey][]ECCFault
+	trapRecords  int
 
 	// Tracer, when non-nil, observes every value each producing port
 	// emits during Exec. It powers the paper's proposed debugging

@@ -12,6 +12,9 @@ type RunResult struct {
 	Executed int64
 	// FinalPC is the address of the halting instruction.
 	FinalPC int
+	// Traps is the exception accounting for this run (the delta of the
+	// node's counters across it).
+	Traps TrapStats
 }
 
 // DefaultMaxInstructions bounds Run when the caller passes 0.
@@ -21,14 +24,15 @@ const DefaultMaxInstructions = 1 << 20
 // following the sequencer's next/branch/halt decisions until a CondHalt
 // instruction completes or maxInstrs instructions have been dispatched
 // (0 means DefaultMaxInstructions). It is the central sequencer of §2.
-func (n *Node) Run(p *microcode.Program, maxInstrs int64) (RunResult, error) {
+func (n *Node) Run(p *microcode.Program, maxInstrs int64) (res RunResult, err error) {
 	if err := p.Validate(); err != nil {
 		return RunResult{}, err
 	}
 	if maxInstrs <= 0 {
 		maxInstrs = DefaultMaxInstructions
 	}
-	var res RunResult
+	base := n.TrapCounters
+	defer func() { res.Traps = n.TrapCounters.Sub(base) }()
 	pc := 0
 	for {
 		if res.Executed >= maxInstrs {

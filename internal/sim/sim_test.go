@@ -556,32 +556,25 @@ func TestFlagHelpers(t *testing.T) {
 
 // Property: apply is total and matches Go arithmetic on the float ops.
 func TestApplyProperty(t *testing.T) {
+	want := func(op arch.Op, a, b, w float64) bool {
+		v, ok := apply(op, a, b)
+		return ok && v == w
+	}
 	fn := func(a, b float64) bool {
 		if math.IsNaN(a) || math.IsNaN(b) {
 			return true
 		}
-		if apply(arch.OpAdd, a, b) != a+b {
-			return false
-		}
-		if apply(arch.OpSub, a, b) != a-b {
-			return false
-		}
-		if apply(arch.OpMul, a, b) != a*b {
-			return false
-		}
-		if apply(arch.OpMax, a, b) != math.Max(a, b) {
-			return false
-		}
-		if apply(arch.OpMov, a, b) != a {
-			return false
-		}
-		return true
+		return want(arch.OpAdd, a, b, a+b) &&
+			want(arch.OpSub, a, b, a-b) &&
+			want(arch.OpMul, a, b, a*b) &&
+			want(arch.OpMax, a, b, math.Max(a, b)) &&
+			want(arch.OpMov, a, b, a)
 	}
 	if err := quick.Check(fn, nil); err != nil {
 		t.Error(err)
 	}
-	if !math.IsNaN(apply(arch.Op(200), 1, 2)) {
-		t.Error("unknown op should yield NaN")
+	if _, ok := apply(arch.Op(200), 1, 2); ok {
+		t.Error("unknown op should report not-implemented, not a value")
 	}
 }
 

@@ -11,6 +11,7 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -73,7 +74,9 @@ func padSources(inv *arch.Inventory, p *diagram.Pipeline, info *codegen.PipeInfo
 // and returns, for each producing pad, the value of logical element
 // `element` (pads whose streams never carry that element are absent).
 // The node's planes must already hold the input data; the instruction
-// executes fully, so memory is updated as usual.
+// executes fully, so memory is updated as usual. If the node traps
+// mid-instruction, Capture returns the samples observed before the
+// abort together with the *sim.TrapError.
 func Capture(node *sim.Node, in *microcode.Instr, doc *diagram.Document, p *diagram.Pipeline,
 	info *codegen.PipeInfo, element int64) (map[diagram.PadRef]Sample, error) {
 
@@ -109,6 +112,13 @@ func Capture(node *sim.Node, in *microcode.Instr, doc *diagram.Document, p *diag
 	}
 	defer func() { node.Tracer = nil }()
 	if err := node.Exec(in); err != nil {
+		// A trap abort still returns the samples captured before the
+		// faulting cycle, alongside the error: the annotated diagram
+		// up to the trap is exactly what pinpoints the bad operand.
+		var te *sim.TrapError
+		if errors.As(err, &te) {
+			return out, err
+		}
 		return nil, err
 	}
 	return out, nil

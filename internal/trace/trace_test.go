@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"errors"
+	"math"
 	"strings"
 	"testing"
 
@@ -157,5 +159,38 @@ func TestAnnotateEmpty(t *testing.T) {
 	out := Annotate(p, map[diagram.PadRef]Sample{})
 	if !strings.Contains(out, "element 0") {
 		t.Errorf("empty annotation: %q", out)
+	}
+}
+
+// TestCapturePartialSamplesOnTrap: a trap abort mid-instruction still
+// returns the pad values observed before the faulting cycle, together
+// with the structured error — the annotated prefix is what pinpoints
+// the bad operand.
+func TestCapturePartialSamplesOnTrap(t *testing.T) {
+	node, d, p, info, in := setup(t)
+	// Element 10 overflows at the doubler (2·MaxFloat64 → +Inf with a
+	// finite operand); the halt policy aborts the instruction there.
+	if err := node.WriteWords(0, 10, []float64{math.MaxFloat64}); err != nil {
+		t.Fatal(err)
+	}
+	node.TrapCfg = arch.TrapConfig{Policy: arch.TrapHalt}
+	samples, err := Capture(node, in, d, p, info, 5)
+	if err == nil {
+		t.Fatal("overflow at element 10 did not trap")
+	}
+	var te *sim.TrapError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %v does not wrap *sim.TrapError", err)
+	}
+	if te.Trap.Kind != sim.TrapOverflow || te.Trap.Element != 10 {
+		t.Errorf("trap = %s, want overflow at element 10", te.Trap)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples captured before the abort")
+	}
+	for _, s := range samples {
+		if s.PadName == "Mu.rd" && s.Val != 5 {
+			t.Errorf("Mu.rd = %g, want 5", s.Val)
+		}
 	}
 }
