@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/codegen"
+	"repro/internal/hypercube"
+	"repro/internal/jacobi"
+	"repro/internal/sim"
+)
+
+// -bench-json runs the repo's headline performance probes through
+// testing.Benchmark and emits machine-readable results, so a CI step
+// (or a developer) can track the numbers without the go test bench
+// harness. Each record carries ns/op plus probe-specific metrics;
+// BENCH_PR4.json in the repo root is a committed reference run.
+
+type benchRecord struct {
+	Name    string             `json:"name"`
+	Iters   int                `json:"iterations"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func record(name string, r testing.BenchmarkResult, metrics map[string]float64) benchRecord {
+	return benchRecord{
+		Name:    name,
+		Iters:   r.N,
+		NsPerOp: float64(r.T.Nanoseconds()) / float64(r.N),
+		Metrics: metrics,
+	}
+}
+
+// benchSolve runs the 8-node fault-free Jacobi solve that
+// BenchmarkEngineOverlap times, with either halo schedule.
+func benchSolve(cfg arch.Config, serial bool) (*hypercube.JacobiResult, *hypercube.Machine, error) {
+	m, err := hypercube.New(cfg, 3)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.Workers = runtime.GOMAXPROCS(0)
+	m.StopAfter = 12
+	m.SerialExchange = serial
+	g := jacobi.NewModelProblem(8, 1e-4, 400)
+	g.Nz = m.P()*2 + 2
+	g.F = make([]float64, g.Cells())
+	g.U0 = make([]float64, g.Cells())
+	g.Mask = make([]float64, g.Cells())
+	for k := 1; k < g.Nz-1; k++ {
+		for j := 1; j < g.N-1; j++ {
+			for i := 1; i < g.N-1; i++ {
+				g.Mask[g.Index(i, j, k)] = 1
+			}
+		}
+	}
+	for c := range g.F {
+		g.F[c] = 1
+	}
+	res, err := m.SolveJacobi(g)
+	return res, m, err
+}
+
+func runBenchJSON(stdout io.Writer, cfg arch.Config) error {
+	var out []benchRecord
+
+	// Engine overlap: the fault-free distributed solve under both halo
+	// schedules. Simulated clocks must agree; wall time may differ.
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{{"engine-overlap/overlap", false}, {"engine-overlap/serial", true}} {
+		var cycles, comm int64
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, m, err := benchSolve(cfg, mode.serial)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles, comm = m.MachineCycles, m.CommCycles
+			}
+		})
+		out = append(out, record(mode.name, r, map[string]float64{
+			"machine_cycles": float64(cycles),
+			"comm_cycles":    float64(comm),
+		}))
+	}
+
+	// Plan cache: the decode-once engine on the warm path — the same
+	// compiled pipeline replayed every iteration.
+	{
+		node, err := sim.NewNode(cfg)
+		if err != nil {
+			return err
+		}
+		p := jacobi.NewModelProblem(12, 1e-6, 1)
+		doc, _, err := p.BuildDocument(cfg)
+		if err != nil {
+			return err
+		}
+		in, _, err := codegen.New(node.Inv).Pipeline(doc, doc.Pipes[0])
+		if err != nil {
+			return err
+		}
+		if err := p.Load(node); err != nil {
+			return err
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := node.Exec(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		pc := node.PlanCacheStats()
+		out = append(out, record("plan-cache/warm-exec", r, map[string]float64{
+			"plan_hits":    float64(pc.Hits),
+			"plan_misses":  float64(pc.Misses),
+			"plan_entries": float64(pc.Entries),
+		}))
+	}
+
+	// Trap overhead: the same instruction with exception detection off
+	// and armed (no traps fire; simulated cycles are identical).
+	for _, mode := range []struct {
+		name string
+		tc   arch.TrapConfig
+	}{
+		{"trap-overhead/off", arch.TrapConfig{}},
+		{"trap-overhead/armed", arch.TrapConfig{Policy: arch.TrapRetry, WatchdogCycles: 1 << 30}},
+	} {
+		node, err := sim.NewNode(cfg)
+		if err != nil {
+			return err
+		}
+		node.TrapCfg = mode.tc
+		p := jacobi.NewModelProblem(12, 1e-6, 1)
+		doc, _, err := p.BuildDocument(cfg)
+		if err != nil {
+			return err
+		}
+		in, _, err := codegen.New(node.Inv).Pipeline(doc, doc.Pipes[0])
+		if err != nil {
+			return err
+		}
+		if err := p.Load(node); err != nil {
+			return err
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := node.Exec(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		out = append(out, record(mode.name, r, nil))
+	}
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("bench-json: %w", err)
+	}
+	return nil
+}

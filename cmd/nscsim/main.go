@@ -36,6 +36,11 @@
 // -verify-checkpoint checks every section checksum of a snapshot file
 // and exits; any flipped bit or truncation is reported with the
 // section name and byte offset.
+//
+// -bench-json runs the repo's performance probes (engine halo overlap,
+// decoded-plan cache, trap-detection overhead) through the benchmark
+// harness and emits one JSON record per probe; BENCH_PR4.json in the
+// repo root is a committed reference run.
 package main
 
 import (
@@ -83,6 +88,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	watchdog := fs.Int64("watchdog", 0, "sequencer watchdog budget in cycles per instruction (0 = off)")
 	eccFaults := fs.String("ecc-faults", "", "seed ECC events for -jacobi: rank:plane:addr:{single|double},...")
 	verifyCk := fs.String("verify-checkpoint", "", "verify a snapshot file's section checksums and exit")
+	benchJSON := fs.Bool("bench-json", false, "run the performance probes and emit JSON records")
 	var loads, dumps multi
 	fs.Var(&loads, "load", "plane:addr:file — preload plane data")
 	fs.Var(&dumps, "dump", "plane:addr:count — print plane words after the run")
@@ -93,6 +99,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg := arch.Default()
 	if *subset {
 		cfg = arch.Subset()
+	}
+
+	if *benchJSON {
+		if err := runBenchJSON(stdout, cfg); err != nil {
+			fmt.Fprintln(stderr, "nscsim:", err)
+			return 1
+		}
+		return 0
 	}
 
 	if *verifyCk != "" {

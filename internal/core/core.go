@@ -17,6 +17,7 @@ import (
 	"repro/internal/editor"
 	"repro/internal/hypercube"
 	"repro/internal/microcode"
+	"repro/internal/multigrid"
 	"repro/internal/render"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -108,6 +109,27 @@ func (env *Environment) Hypercube(dim int) (*hypercube.Machine, error) {
 	m.Trap = env.Trap
 	env.Cube = m
 	return m, nil
+}
+
+// DistributedMultigrid runs a V-cycle solve for an n×n×n model problem
+// across the session's 2^dim-node cube: slab-decomposed smoothing and
+// residual sweeps on every node through the solver engine, the coarse
+// chain resident on rank 0. The trajectory is bit-identical to the
+// single-node multigrid solver at every cube size.
+func (env *Environment) DistributedMultigrid(dim, n, levels int, tol float64, maxCycles int) (*multigrid.DistResult, error) {
+	m, err := env.Hypercube(dim)
+	if err != nil {
+		return nil, err
+	}
+	d, err := multigrid.NewDistributed(multigrid.DistConfig{
+		Fabric: m.Fabric(), Cfg: env.Cfg,
+		N: n, Levels: levels, Tol: tol, MaxCycles: maxCycles,
+		Workers: m.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d.Run()
 }
 
 // SetTrapPolicy arms (or disarms) exception detection for the whole

@@ -289,3 +289,23 @@ func TestTrapSession(t *testing.T) {
 		t.Errorf("aggregate traps = %s", st)
 	}
 }
+
+// TestDistributedMultigridSession: the environment drives the
+// engine-backed distributed V-cycle over its cube and the solve
+// converges with sensible accounting.
+func TestDistributedMultigridSession(t *testing.T) {
+	env := MustNew(arch.Default())
+	res, err := env.DistributedMultigrid(1, 9, 2, 1e-6, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Residual >= 1e-6 {
+		t.Fatalf("residual %g after %d V-cycles (converged=%v)", res.Residual, res.VCycles, res.Converged)
+	}
+	if len(res.U) != 9*9*9 {
+		t.Fatalf("field has %d words", len(res.U))
+	}
+	if res.TotalFLOPs == 0 || env.Cube.MachineCycles == 0 {
+		t.Errorf("accounting empty: flops=%d cycles=%d", res.TotalFLOPs, env.Cube.MachineCycles)
+	}
+}

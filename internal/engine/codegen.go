@@ -1,0 +1,39 @@
+package engine
+
+import (
+	"repro/internal/arch"
+	"repro/internal/codegen"
+	"repro/internal/jacobi"
+	"repro/internal/microcode"
+	"repro/internal/sim"
+)
+
+// CompileSweeps programs every rank for the Jacobi scheme: each rank's
+// slab problem builds its visual-environment document, generates the
+// forward (u→v) and backward (v→u) sweep instructions, and loads the
+// slab arrays into the rank's node. The per-rank work is independent,
+// so it fans out across the worker pool; every rank gets its own
+// generator to keep the workers share-free.
+func CompileSweeps(cfg arch.Config, workers int, locals []*jacobi.Problem,
+	nodeOf func(rank int) *sim.Node) (fwd, bwd []*microcode.Instr, err error) {
+	fwd = make([]*microcode.Instr, len(locals))
+	bwd = make([]*microcode.Instr, len(locals))
+	err = ParallelFor(workers, len(locals), func(r int) error {
+		doc, _, err := locals[r].BuildDocument(cfg)
+		if err != nil {
+			return err
+		}
+		gen := codegen.New(arch.MustInventory(cfg))
+		if fwd[r], _, err = gen.Pipeline(doc, doc.Pipes[0]); err != nil {
+			return err
+		}
+		if bwd[r], _, err = gen.Pipeline(doc, doc.Pipes[1]); err != nil {
+			return err
+		}
+		return locals[r].Load(nodeOf(r))
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return fwd, bwd, nil
+}

@@ -1,0 +1,654 @@
+// Package engine is the distributed solver runtime extracted from the
+// hypercube Jacobi driver: the reusable parallel skeleton — slab
+// partitioning, per-rank code generation, and a phase-structured sweep
+// loop (dispatch → combine → exchange) with fault injection, bounded
+// retry, checkpoint hooks and rank-ordered stat merges — separated
+// from any particular numerical scheme, so that Jacobi, multigrid and
+// future workloads (SOR, red-black, new stencils) are small clients of
+// one substrate instead of copies of a 400-line loop.
+//
+// The engine addresses ranks on a ring; the Fabric interface maps ring
+// ranks onto real machine topology (the hypercube adapter routes them
+// through the Gray code so ring neighbours are one hop apart) and owns
+// the cost model and the machine-wide clocks. All per-rank work runs
+// through a bounded worker pool; every accumulator update happens
+// either under a single goroutine per rank or host-side after a
+// barrier, merged in rank order, so results are bit-identical at every
+// worker count.
+//
+// On the fault-free path the loop overlaps halo exchange with interior
+// computation: each rank gathers its outgoing ghost faces into pooled
+// buffers inside the dispatch barrier (right after its own sweep, while
+// other ranks are still computing), and the exchange phase is then a
+// single scatter barrier in which every rank writes only its own ghost
+// planes. The simulated cost model is identical to the serial
+// two-phase schedule — overlap is a host-time optimization, measured
+// by BenchmarkEngineOverlap — and the faulted path keeps the seed's
+// two-parity pairwise schedule exactly, because fault triggering and
+// retry accounting are defined per pair.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/microcode"
+	"repro/internal/sim"
+)
+
+// Fabric is the machine substrate the engine runs on: rank-addressed
+// node access, the message cost model, and the machine-wide clocks.
+// Ranks are ring ranks; the implementation maps them to physical
+// topology (the hypercube adapter uses the Gray code).
+type Fabric interface {
+	// P returns the rank count; Dim the log₂ of it (combine rounds).
+	P() int
+	Dim() int
+	// Node returns the simulated node behind a ring rank.
+	Node(rank int) *sim.Node
+	// WordBytes is the payload size of one word.
+	WordBytes() int
+	// SendCost prices one message of `bytes` over `hops` hops.
+	SendCost(bytes int64, hops int) int64
+	// Hops returns the path length between two ring ranks.
+	Hops(from, to int) int
+	// Copy moves count words between ranks' planes, returning the
+	// router cost without touching the shared clocks, so concurrent
+	// transfers over disjoint pairs can defer accounting to a
+	// deterministic rank-order merge.
+	Copy(fromRank, fromPlane int, fromAddr int64,
+		toRank, toPlane int, toAddr int64, count int) (int64, error)
+	// Corrupt bit-flips count words on a rank (fault injection).
+	Corrupt(rank, plane int, addr int64, count int) error
+	// AddMachineCycles charges the machine critical path; AddCommCycles
+	// the aggregate router load.
+	AddMachineCycles(cycles int64)
+	AddCommCycles(cycles int64)
+}
+
+// Config parameterizes a Loop (and Run, the Jacobi-shaped driver on
+// top of it).
+type Config struct {
+	Fabric  Fabric
+	Part    *Partition
+	Workers int
+
+	// Pairs optionally supplies the precomputed parity classes of the
+	// ring-exchange pairs (a machine computes them once at
+	// construction); when empty the loop derives them from P.
+	Pairs [2][]int
+
+	// Faults, when non-nil, arms deterministic fault injection; Retry
+	// bounds the recovery (zero fields take DefaultRetryPolicy).
+	Faults *FaultPlan
+	Retry  RetryPolicy
+
+	// ResidualFU is the reduce register the convergence combine reads.
+	ResidualFU arch.FUID
+
+	// SerialExchange disables the overlapped gather/scatter halo path
+	// on the fault-free schedule, forcing the two-parity pairwise
+	// exchange — the knob BenchmarkEngineOverlap flips. Simulated
+	// results and clocks are identical either way.
+	SerialExchange bool
+
+	// Observe, when non-nil, receives one sample per completed phase
+	// with the simulated cycles it added to the critical path. Called
+	// host-side after each barrier; nil costs nothing.
+	Observe func(phase string, sweep int, cycles int64)
+
+	// The fields below drive Run; Loop-level clients ignore them.
+
+	// Instr selects the instruction rank r executes on a sweep;
+	// PlaneOf names the memory plane that sweep writes (the halo
+	// exchange plane).
+	Instr   func(sweep, rank int) *microcode.Instr
+	PlaneOf func(sweep int) int
+
+	// MaxSweeps bounds the loop; StopAfter, when positive, runs exactly
+	// that many sweeps regardless of the residual; Tol is the
+	// convergence threshold.
+	MaxSweeps int
+	StopAfter int
+	Tol       float64
+
+	// CheckpointEvery, when positive, invokes Take at every sweep
+	// boundary divisible by it. StartSweep/StartSeries/SkipSnapshotAt
+	// seed a run resumed from a checkpoint (SkipSnapshotAt must be -1
+	// when not resuming — the resumed boundary holds no new progress).
+	CheckpointEvery int
+	StartSweep      int
+	StartSeries     []float64
+	SkipSnapshotAt  int
+
+	// Take snapshots the client's state at a sweep boundary; live is
+	// the loop's fault counters so far (the client adds its own base).
+	// Rollback restores the latest snapshot after a retry budget
+	// exhausts and returns the sweep to resume from; ok=false means no
+	// snapshot exists and the budget error surfaces instead.
+	Take     func(sweep int, series []float64, live FaultStats) error
+	Rollback func() (sweep int, series []float64, ok bool, err error)
+}
+
+// Loop is the phase-structured sweep loop: Dispatch runs one
+// instruction on every rank, CombineResidual reduces the convergence
+// signal, Exchange swaps ghost faces between ring neighbours. All
+// fault/retry/stat accounting lives here; clients sequence the phases
+// (or use Run for the standard sweep-combine-exchange shape).
+type Loop struct {
+	cfg   *Config
+	retry RetryPolicy
+
+	fst    FaultStats   // live counters, merged in rank order
+	deltas []FaultStats // per-rank counter deltas (fault path only)
+	budget []*BudgetError
+	sweep  []int64 // per-rank dispatch cycles
+	pairs  [2][]int
+	cost   []int64 // per-pair exchange cost
+
+	// halo holds each rank's outgoing faces on the overlapped path:
+	// halo[2r] the down face (last owned plane), halo[2r+1] the up face
+	// (first owned plane). Allocated once per loop and reused every
+	// sweep.
+	halo [][]float64
+}
+
+// NewLoop builds a loop over the configured fabric and partition.
+func NewLoop(cfg *Config) (*Loop, error) {
+	if cfg.Fabric == nil || cfg.Part == nil {
+		return nil, fmt.Errorf("engine: loop needs a fabric and a partition")
+	}
+	p := cfg.Fabric.P()
+	if cfg.Part.P != p {
+		return nil, fmt.Errorf("engine: partition over %d ranks on a %d-rank fabric", cfg.Part.P, p)
+	}
+	lp := &Loop{
+		cfg:   cfg,
+		retry: cfg.Retry.withDefaults(),
+		sweep: make([]int64, p),
+		cost:  make([]int64, p),
+		pairs: cfg.Pairs,
+	}
+	if lp.pairs[0] == nil && lp.pairs[1] == nil {
+		lp.pairs = [2][]int{PairsOfParity(p, 0), PairsOfParity(p, 1)}
+	}
+	if cfg.Faults != nil {
+		lp.deltas = make([]FaultStats, p)
+		lp.budget = make([]*BudgetError, p)
+	} else if !cfg.SerialExchange && p > 1 {
+		lp.halo = make([][]float64, 2*p)
+		for i := range lp.halo {
+			lp.halo[i] = make([]float64, cfg.Part.NN())
+		}
+	}
+	return lp, nil
+}
+
+// overlapped reports whether the gather/scatter halo path is active.
+func (lp *Loop) overlapped() bool { return lp.halo != nil }
+
+// Stats returns the loop's live fault counters.
+func (lp *Loop) Stats() FaultStats { return lp.fst }
+
+// mergeDeltas folds the per-rank counter deltas into the live counters
+// in rank order, after a barrier.
+func (lp *Loop) mergeDeltas() {
+	for r := range lp.deltas {
+		lp.fst.Add(lp.deltas[r])
+		lp.deltas[r] = FaultStats{}
+	}
+}
+
+// firstBudget resolves the per-rank budget errors deterministically:
+// the lowest rank wins, and the slate is cleared.
+func (lp *Loop) firstBudget() *BudgetError {
+	var be *BudgetError
+	for r := range lp.budget {
+		if lp.budget[r] != nil && be == nil {
+			be = lp.budget[r]
+		}
+		lp.budget[r] = nil
+	}
+	return be
+}
+
+// observe reports a completed phase to the configured observer.
+func (lp *Loop) observe(phase string, sweep int, cycles int64) {
+	if lp.cfg.Observe != nil {
+		lp.cfg.Observe(phase, sweep, cycles)
+	}
+}
+
+// Dispatch executes instr(r) on every rank across the worker pool and
+// charges the critical path with the slowest rank. Each rank only
+// mutates its own simulator state; cycle deltas land in a per-rank
+// slice and merge after the barrier in rank order, keeping the clocks
+// bit-identical to the sequential schedule. A killed dispatch retries
+// with backoff; an exhausted budget is recorded per rank and resolved
+// after the barrier, so counters stay deterministic at every worker
+// count.
+//
+// gatherPlane >= 0 names the plane whose ghost faces the following
+// Exchange will swap: on the overlapped path each rank copies its
+// outgoing faces into the pooled halo buffers right after its own
+// sweep, still inside the dispatch barrier, so the exchange phase
+// needs only a single scatter barrier. Pass -1 for dispatches with no
+// exchange to feed (residual, correction, copies).
+func (lp *Loop) Dispatch(sweepNo int, instr func(rank int) *microcode.Instr, gatherPlane int) (*BudgetError, error) {
+	cfg := lp.cfg
+	f := cfg.Fabric
+	p := f.P()
+	gather := gatherPlane >= 0 && lp.overlapped()
+	if err := ParallelFor(cfg.Workers, p, func(r int) error {
+		nd := f.Node(r)
+		var extra int64 // injected stall + backoff cycles
+		if cfg.Faults != nil {
+			fs := &lp.deltas[r]
+			for attempt := 0; ; attempt++ {
+				ev := cfg.Faults.trigger(sweepNo, PhaseDispatch, r)
+				if ev == nil {
+					break
+				}
+				fs.Injected++
+				if ev.Kind == FaultStall {
+					fs.Stalls++
+					fs.StallCycles += ev.Stall
+					extra += ev.Stall
+					break
+				}
+				fs.Kills++
+				if attempt+1 >= lp.retry.MaxAttempts {
+					fs.Exhausted++
+					lp.budget[r] = &BudgetError{Sweep: sweepNo, Phase: PhaseDispatch, Rank: r, Attempts: attempt + 1}
+					lp.sweep[r] = extra
+					return nil
+				}
+				fs.Retries++
+				b := lp.retry.backoff(attempt)
+				fs.BackoffCycles += b
+				extra += b
+			}
+		}
+		before := nd.Stats.Cycles
+		if err := nd.Exec(instr(r)); err != nil {
+			return fmt.Errorf("engine: node %d sweep %d: %w", r, sweepNo, err)
+		}
+		lp.sweep[r] = nd.Stats.Cycles - before + extra
+		if gather {
+			return lp.gather(r, gatherPlane)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	lp.mergeDeltas()
+	var maxNode int64
+	for r := 0; r < p; r++ {
+		if lp.sweep[r] > maxNode {
+			maxNode = lp.sweep[r]
+		}
+	}
+	// The sweep costs the machine its time even when a budget error
+	// aborts the iteration: the lost work still ran.
+	f.AddMachineCycles(maxNode)
+	lp.observe("dispatch", sweepNo, maxNode)
+	return lp.firstBudget(), nil
+}
+
+// gather copies rank r's outgoing ghost faces into the pooled halo
+// buffers. Only r touches its own node and its own buffer slots, so
+// the copy is safe inside the dispatch barrier.
+func (lp *Loop) gather(r, plane int) error {
+	pt := lp.cfg.Part
+	nd := lp.cfg.Fabric.Node(r)
+	nn := pt.NN()
+	if r+1 < pt.P { // down face: last owned plane
+		if err := nd.ReadWordsInto(plane, int64(pt.Planes[r]*nn), lp.halo[2*r]); err != nil {
+			return err
+		}
+	}
+	if r > 0 { // up face: first owned plane
+		if err := nd.ReadWordsInto(plane, int64(nn), lp.halo[2*r+1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CombineResidual reads the per-rank reduce registers, combines them
+// host-side (max is associative, so the max of local maxima is the
+// global max bit for bit) and charges the log₂P recursive-doubling
+// rounds the machine would spend. Lost or corrupted combine rounds
+// re-send with backoff; the wasted round still crossed the wire, so it
+// is charged too. A non-nil BudgetError means the combine's retry
+// budget exhausted and the sweep must roll back or surface.
+func (lp *Loop) CombineResidual(sweepNo int) (float64, *BudgetError) {
+	cfg := lp.cfg
+	f := cfg.Fabric
+	p := f.P()
+	worst := 0.0
+	for r := 0; r < p; r++ {
+		if v := f.Node(r).RedReg[cfg.ResidualFU]; v > worst {
+			worst = v
+		}
+	}
+	if p == 1 {
+		return worst, nil
+	}
+	step := f.SendCost(int64(f.WordBytes()), 1)
+	combine := int64(0)
+	var mergeBE *BudgetError
+	for d := 0; d < f.Dim() && mergeBE == nil; d++ {
+		if cfg.Faults != nil {
+			for attempt := 0; ; attempt++ {
+				ev := cfg.Faults.trigger(sweepNo, PhaseMerge, d)
+				if ev == nil {
+					break
+				}
+				lp.fst.Injected++
+				if ev.Kind == FaultStall {
+					lp.fst.Stalls++
+					lp.fst.StallCycles += ev.Stall
+					combine += ev.Stall
+					break
+				}
+				if ev.Kind == FaultCorrupt {
+					lp.fst.Corruptions++
+				} else {
+					lp.fst.Kills++
+				}
+				if attempt+1 >= lp.retry.MaxAttempts {
+					lp.fst.Exhausted++
+					mergeBE = &BudgetError{Sweep: sweepNo, Phase: PhaseMerge, Rank: d, Attempts: attempt + 1}
+					break
+				}
+				lp.fst.Retries++
+				b := lp.retry.backoff(attempt)
+				lp.fst.BackoffCycles += b
+				combine += step + b
+			}
+		}
+		if mergeBE == nil {
+			combine += step
+		}
+	}
+	f.AddCommCycles(combine)
+	f.AddMachineCycles(combine)
+	lp.observe("combine", sweepNo, combine)
+	return worst, mergeBE
+}
+
+// Exchange swaps ghost faces on `plane` between all ring neighbours:
+// rank r sends its last owned plane down-ring and its first owned
+// plane up-ring. All pairs exchange concurrently, so the machine's
+// critical path grows by one pair's traffic (two face messages), while
+// CommCycles keeps the aggregate router load, merged in rank order.
+//
+// On the overlapped fault-free path the outgoing faces were already
+// gathered during Dispatch, so this is a single barrier in which each
+// rank writes only its own ghost planes. Otherwise pair (r, r+1)
+// touches exactly two nodes, so even-r pairs are mutually disjoint (as
+// are odd-r pairs) and the exchange dispatches over the pool in two
+// parity phases.
+func (lp *Loop) Exchange(sweepNo, plane int) (*BudgetError, error) {
+	cfg := lp.cfg
+	f := cfg.Fabric
+	pt := cfg.Part
+	p := f.P()
+	if p == 1 {
+		lp.observe("exchange", sweepNo, 0)
+		return nil, nil
+	}
+	nn := pt.NN()
+	if lp.overlapped() {
+		step := f.SendCost(int64(nn)*int64(f.WordBytes()), 1)
+		if err := ParallelFor(cfg.Workers, p, func(r int) error {
+			nd := f.Node(r)
+			if r > 0 { // low ghost from the left neighbour's down face
+				if err := nd.WriteWords(plane, 0, lp.halo[2*(r-1)]); err != nil {
+					return err
+				}
+			}
+			if r+1 < p { // high ghost from the right neighbour's up face
+				if err := nd.WriteWords(plane, int64((pt.Planes[r]+1)*nn), lp.halo[2*(r+1)+1]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		for r := 0; r+1 < p; r++ {
+			lp.cost[r] = 2 * step
+		}
+	} else {
+		for phase := 0; phase < 2; phase++ {
+			pairs := lp.pairs[phase]
+			if err := ParallelFor(cfg.Workers, len(pairs), func(k int) error {
+				r := pairs[k]
+				if cfg.Faults == nil {
+					// r's last owned plane → (r+1)'s low ghost.
+					down, err := f.Copy(r, plane, int64(pt.Planes[r]*nn), r+1, plane, 0, nn)
+					if err != nil {
+						return err
+					}
+					// (r+1)'s first owned plane → r's high ghost.
+					up, err := f.Copy(r+1, plane, int64(nn), r, plane, int64((pt.Planes[r]+1)*nn), nn)
+					if err != nil {
+						return err
+					}
+					lp.cost[r] = down + up
+					return nil
+				}
+				return lp.exchangePair(sweepNo, r, plane)
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	lp.mergeDeltas()
+	for r := 0; r+1 < p; r++ {
+		f.AddCommCycles(lp.cost[r])
+	}
+	pairClean := 2 * f.SendCost(int64(nn)*int64(f.WordBytes()), 1)
+	added := pairClean
+	f.AddMachineCycles(pairClean)
+	if cfg.Faults != nil {
+		// Pairs exchange concurrently: the critical path grows by the
+		// worst pair's injected stall/backoff/resend.
+		var worstExtra int64
+		for r := 0; r+1 < p; r++ {
+			if ex := lp.cost[r] - pairClean; ex > worstExtra {
+				worstExtra = ex
+			}
+		}
+		f.AddMachineCycles(worstExtra)
+		added += worstExtra
+	}
+	lp.observe("exchange", sweepNo, added)
+	return lp.firstBudget(), nil
+}
+
+// exchangePair performs one ring pair's ghost exchange under the fault
+// plan: kills drop the messages before transfer, corruptions deliver a
+// bit-flipped down payload that the modeled link CRC flags for
+// re-send, stalls delay the pair. All costs (wasted transfers, backoff,
+// stall) accumulate into the pair's cost slot for the rank-order merge.
+func (lp *Loop) exchangePair(sweepNo, r, plane int) error {
+	cfg := lp.cfg
+	f := cfg.Fabric
+	pt := cfg.Part
+	nn := pt.NN()
+	fs := &lp.deltas[r]
+	total := int64(0)
+	for attempt := 0; ; attempt++ {
+		ev := cfg.Faults.trigger(sweepNo, PhaseExchange, r)
+		corrupt := false
+		if ev != nil {
+			fs.Injected++
+			switch ev.Kind {
+			case FaultStall:
+				fs.Stalls++
+				fs.StallCycles += ev.Stall
+				total += ev.Stall
+				// The stalled transfer still completes below.
+			case FaultKill:
+				fs.Kills++
+				if attempt+1 >= lp.retry.MaxAttempts {
+					fs.Exhausted++
+					lp.budget[r] = &BudgetError{Sweep: sweepNo, Phase: PhaseExchange, Rank: r, Attempts: attempt + 1}
+					lp.cost[r] = total
+					return nil
+				}
+				fs.Retries++
+				b := lp.retry.backoff(attempt)
+				fs.BackoffCycles += b
+				total += b
+				continue // messages lost before any words moved
+			case FaultCorrupt:
+				corrupt = true
+			}
+		}
+		down, err := f.Copy(r, plane, int64(pt.Planes[r]*nn), r+1, plane, 0, nn)
+		if err != nil {
+			return err
+		}
+		up, err := f.Copy(r+1, plane, int64(nn), r, plane, int64((pt.Planes[r]+1)*nn), nn)
+		if err != nil {
+			return err
+		}
+		total += down + up
+		if corrupt {
+			// The down payload arrived bit-flipped; the link CRC flags
+			// it and the pair re-sends. The corrupted words really land
+			// in the ghost plane until the retry scrubs them — exactly
+			// the state a crash would leave behind.
+			fs.Corruptions++
+			if err := f.Corrupt(r+1, plane, 0, nn); err != nil {
+				return err
+			}
+			if attempt+1 >= lp.retry.MaxAttempts {
+				fs.Exhausted++
+				lp.budget[r] = &BudgetError{Sweep: sweepNo, Phase: PhaseExchange, Rank: r, Attempts: attempt + 1}
+				lp.cost[r] = total
+				return nil
+			}
+			fs.Retries++
+			b := lp.retry.backoff(attempt)
+			fs.BackoffCycles += b
+			total += b
+			continue
+		}
+		lp.cost[r] = total
+		return nil
+	}
+}
+
+// RunResult reports a Run.
+type RunResult struct {
+	Sweeps    int
+	Converged bool
+	Residual  float64
+	Series    []float64
+	// Faults holds the run's live counters (a restored base, if any, is
+	// the client's to add).
+	Faults FaultStats
+}
+
+// Run drives the standard sweep → combine → exchange loop to
+// convergence: the exact phase order, accounting and rollback
+// semantics of the original hypercube Jacobi driver, now scheme- and
+// machine-agnostic. A retry budget that exhausts rolls the run back
+// through cfg.Rollback (when a snapshot exists and MaxRestores
+// allows); simulated time is not rolled back — the lost work cost real
+// cycles.
+func Run(cfg *Config) (*RunResult, error) {
+	lp, err := NewLoop(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &RunResult{
+		Sweeps: cfg.StartSweep,
+		Series: append([]float64(nil), cfg.StartSeries...),
+	}
+	skipAt := cfg.SkipSnapshotAt
+	restores := 0
+	rollback := func(be *BudgetError) (int, error) {
+		if cfg.Rollback == nil || restores >= lp.retry.MaxRestores {
+			return 0, be
+		}
+		at, series, ok, err := cfg.Rollback()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return 0, be
+		}
+		restores++
+		lp.fst.Restores++
+		res.Sweeps = at
+		res.Series = append(res.Series[:0], series...)
+		skipAt = at
+		return at, nil
+	}
+
+	for it := cfg.StartSweep; it < cfg.MaxSweeps; it++ {
+		// Sweep-boundary snapshot.
+		if cfg.CheckpointEvery > 0 && cfg.Take != nil && it%cfg.CheckpointEvery == 0 && it != skipAt {
+			lp.fst.Checkpoints++
+			if err := cfg.Take(it, res.Series, lp.fst); err != nil {
+				return nil, err
+			}
+		}
+
+		be, err := lp.Dispatch(it, func(r int) *microcode.Instr { return cfg.Instr(it, r) }, cfg.PlaneOf(it))
+		if err != nil {
+			return nil, err
+		}
+		if be != nil {
+			at, err := rollback(be)
+			if err != nil {
+				return nil, err
+			}
+			it = at - 1
+			continue
+		}
+		res.Sweeps++
+
+		worst, mergeBE := lp.CombineResidual(it)
+		if mergeBE != nil {
+			at, err := rollback(mergeBE)
+			if err != nil {
+				return nil, err
+			}
+			it = at - 1
+			continue
+		}
+		res.Residual = worst
+		res.Series = append(res.Series, worst)
+		if cfg.StopAfter > 0 {
+			if res.Sweeps >= cfg.StopAfter {
+				res.Converged = worst < cfg.Tol
+				break
+			}
+		} else if worst < cfg.Tol {
+			res.Converged = true
+			break
+		}
+
+		ebe, err := lp.Exchange(it, cfg.PlaneOf(it))
+		if err != nil {
+			return nil, err
+		}
+		if ebe != nil {
+			at, err := rollback(ebe)
+			if err != nil {
+				return nil, err
+			}
+			it = at - 1
+			continue
+		}
+	}
+	res.Faults = lp.fst
+	return res, nil
+}

@@ -1,0 +1,52 @@
+package hypercube
+
+import (
+	"runtime"
+	"testing"
+)
+
+// BenchmarkEngineOverlap measures the host wall-time effect of the
+// engine's overlapped halo path (ghost faces gathered inside the
+// dispatch barrier, exchange reduced to one scatter barrier) against
+// the serial two-parity pairwise schedule. Simulated observables are
+// asserted identical before timing starts — the overlap may only move
+// host time, never machine time.
+func BenchmarkEngineOverlap(b *testing.B) {
+	solve := func(serial bool) (*JacobiResult, *Machine) {
+		m, err := New(smallCfg(), 3) // 8 nodes
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Workers = runtime.GOMAXPROCS(0)
+		m.StopAfter = 12
+		m.SerialExchange = serial
+		res, err := m.SolveJacobi(parallelProblem(m.P()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res, m
+	}
+	rs, ms := solve(true)
+	ro, mo := solve(false)
+	if ms.MachineCycles != mo.MachineCycles || ms.CommCycles != mo.CommCycles ||
+		rs.Residual != ro.Residual || rs.Iterations != ro.Iterations {
+		b.Fatalf("overlap changed simulated observables: serial (%d,%d,%g), overlap (%d,%d,%g)",
+			ms.MachineCycles, ms.CommCycles, rs.Residual, mo.MachineCycles, mo.CommCycles, ro.Residual)
+	}
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{
+		{"overlap", false},
+		{"serial", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				_, m := solve(mode.serial)
+				cycles = m.MachineCycles
+			}
+			b.ReportMetric(float64(cycles), "machine-cycles")
+		})
+	}
+}

@@ -72,20 +72,24 @@ func (op ReduceOp) apply(a, b float64) (float64, error) {
 // of pairwise single-hop exchange and local combine).
 func (m *Machine) AllReduce(plane int, addr int64, count int, op ReduceOp) error {
 	bytes := int64(count) * int64(m.Cfg.WordBytes)
+	// One snapshot row per node plus one combine scratch, reused across
+	// all d rounds (WriteWords copies, so the scratch never aliases
+	// plane storage).
+	snap := make([][]float64, m.P())
+	for n := range snap {
+		snap[n] = make([]float64, count)
+	}
+	combined := make([]float64, count)
 	for d := 0; d < m.Dim; d++ {
 		bit := 1 << uint(d)
 		// Snapshot before the round: exchanges are simultaneous.
-		snap := make([][]float64, m.P())
 		for n := 0; n < m.P(); n++ {
-			data, err := m.Nodes[n].ReadWords(plane, addr, count)
-			if err != nil {
+			if err := m.Nodes[n].ReadWordsInto(plane, addr, snap[n]); err != nil {
 				return err
 			}
-			snap[n] = data
 		}
 		for n := 0; n < m.P(); n++ {
 			peer := n ^ bit
-			combined := make([]float64, count)
 			for i := 0; i < count; i++ {
 				v, err := op.apply(snap[n][i], snap[peer][i])
 				if err != nil {

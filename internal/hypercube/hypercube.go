@@ -8,15 +8,11 @@
 // the scaling experiment (P2): 1-D domain decomposition along k with
 // ghost-plane exchange between ring neighbours (a Gray-code ring, so
 // every exchange is a single hop) and a log₂P convergence combine.
-//
-// Long solves on machines of this class die of partial failure unless
-// the driver degrades gracefully, so the solve loop carries a
-// robustness layer: a deterministic fault plan (fault.go) can kill a
-// node dispatch, corrupt a ghost payload or stall a link at chosen
-// sweep/phase points; every faulted operation retries under a bounded
-// exponential-backoff budget in simulated cycles; and sweep-boundary
-// checkpoints (checkpoint.go) let the solve roll back — or a fresh
-// process resume — to bit-identical results versus a fault-free run.
+// Since PR 4 the sweep loop itself — partitioning, per-rank codegen,
+// halo exchange, convergence reduction, fault injection, retry and
+// checkpoint rollback — lives in internal/engine; SolveJacobi is a
+// thin client that adapts the machine to the engine's Fabric interface
+// and supplies the scheme (instructions, planes, checkpoint hooks).
 package hypercube
 
 import (
@@ -27,7 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/arch"
-	"repro/internal/codegen"
+	"repro/internal/engine"
 	"repro/internal/jacobi"
 	"repro/internal/microcode"
 	"repro/internal/sim"
@@ -57,6 +53,13 @@ type Machine struct {
 	// accounting is merged in rank order after each barrier.
 	Workers int
 
+	// SerialExchange forces the engine's two-parity pairwise halo
+	// schedule instead of the overlapped gather/scatter path on
+	// fault-free solves. Results and simulated clocks are identical
+	// either way; the knob exists for measurement
+	// (BenchmarkEngineOverlap).
+	SerialExchange bool
+
 	// Faults, when non-nil, injects the plan's deterministic faults
 	// into SolveJacobi. Nil (the default) keeps the solve loop on the
 	// exact fault-free path: no extra simulated cycles, no counters.
@@ -85,6 +88,10 @@ type Machine struct {
 	// the start of each solve. The zero value (policy off) keeps the
 	// exact seed behaviour.
 	Trap arch.TrapConfig
+
+	// pairs holds the parity classes of the ring-exchange pairs,
+	// precomputed at construction (they depend only on P).
+	pairs [2][]int
 }
 
 // New builds a hypercube of 2^dim nodes.
@@ -100,6 +107,8 @@ func New(cfg arch.Config, dim int) (*Machine, error) {
 		}
 		m.Nodes = append(m.Nodes, n)
 	}
+	p := m.P()
+	m.pairs = [2][]int{engine.PairsOfParity(p, 0), engine.PairsOfParity(p, 1)}
 	return m, nil
 }
 
@@ -198,6 +207,35 @@ func (m *Machine) copyPayload(fromNode, fromPlane int, fromAddr int64,
 	return m.SendCost(int64(count)*int64(m.Cfg.WordBytes), hops(fromNode, toNode)), nil
 }
 
+// fabric adapts the Machine to engine.Fabric: engine ring ranks map to
+// hypercube addresses through the Gray code, so ring neighbours are
+// always one hop apart and the clocks land on the machine's counters.
+type fabric struct{ m *Machine }
+
+func (f fabric) P() int               { return f.m.P() }
+func (f fabric) Dim() int             { return f.m.Dim }
+func (f fabric) Node(r int) *sim.Node { return f.m.Nodes[node(r)] }
+func (f fabric) WordBytes() int       { return f.m.Cfg.WordBytes }
+func (f fabric) SendCost(bytes int64, h int) int64 {
+	return f.m.SendCost(bytes, h)
+}
+func (f fabric) Hops(from, to int) int { return hops(node(from), node(to)) }
+func (f fabric) Copy(fromRank, fromPlane int, fromAddr int64,
+	toRank, toPlane int, toAddr int64, count int) (int64, error) {
+	return f.m.copyPayload(node(fromRank), fromPlane, fromAddr,
+		node(toRank), toPlane, toAddr, count)
+}
+func (f fabric) Corrupt(r, plane int, addr int64, count int) error {
+	return f.m.corruptWords(node(r), plane, addr, count)
+}
+func (f fabric) AddMachineCycles(c int64) { f.m.MachineCycles += c }
+func (f fabric) AddCommCycles(c int64)    { f.m.CommCycles += c }
+
+// Fabric returns the engine's view of this machine: ring-rank node
+// access through the Gray code plus the router cost model. Engine
+// clients (SolveJacobi, the distributed multigrid) run on it.
+func (m *Machine) Fabric() engine.Fabric { return fabric{m} }
+
 // JacobiResult reports a multi-node solve.
 type JacobiResult struct {
 	U          []float64 // assembled global field
@@ -234,10 +272,10 @@ type JacobiResult struct {
 // 1-D decomposition along k. The global grid is N×N×Nz; the Nz−2
 // interior planes must divide evenly by the node count. Each node
 // programs its slab through the same visual-environment pipelines as
-// the single-node solver (ghost planes enter as masked-off boundary),
-// sweeps once per iteration, exchanges ghost faces with its ring
-// neighbours, and participates in a log₂P max-combine of the residual
-// registers.
+// the single-node solver (ghost planes enter as masked-off boundary);
+// the engine then drives the sweep → combine → exchange loop, with
+// this client supplying the per-sweep instructions and the
+// checkpoint/rollback hooks.
 //
 // When a FaultPlan is armed, faulted operations retry under the
 // machine's RetryPolicy; a retry budget that exhausts rolls the solve
@@ -254,96 +292,28 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 		return nil, fmt.Errorf("hypercube: %d interior planes do not divide across %d nodes", inner, p)
 	}
 	slab := inner / p
-	n := global.N
-	nn := n * n
-
-	// Build per-node slab problems: planes [lo-1, lo+slab] of the
-	// global grid (one ghost/boundary plane each side).
+	n, nn := global.N, global.N*global.N
+	part, err := engine.NewPartition(p, n, global.Nz)
+	if err != nil {
+		return nil, err
+	}
 	locals := make([]*jacobi.Problem, p)
 	for r := 0; r < p; r++ {
-		lo := 1 + r*slab
-		lp := &jacobi.Problem{
-			N: n, Nz: slab + 2, H: global.H, Tol: global.Tol, MaxIter: global.MaxIter,
-			F:    make([]float64, nn*(slab+2)),
-			U0:   make([]float64, nn*(slab+2)),
-			Mask: make([]float64, nn*(slab+2)),
-		}
-		for kz := 0; kz < slab+2; kz++ {
-			gk := lo - 1 + kz
-			copy(lp.F[kz*nn:(kz+1)*nn], global.F[gk*nn:(gk+1)*nn])
-			copy(lp.U0[kz*nn:(kz+1)*nn], global.U0[gk*nn:(gk+1)*nn])
-			if kz > 0 && kz < slab+1 {
-				// Interior planes keep the global x/y mask.
-				copy(lp.Mask[kz*nn:(kz+1)*nn], global.Mask[gk*nn:(gk+1)*nn])
-			}
-		}
-		if err := lp.Validate(m.Cfg); err != nil {
+		if locals[r], err = part.Local(m.Cfg, global, r); err != nil {
 			return nil, err
 		}
-		locals[r] = lp
 	}
-
-	// Generate each node's sweep instructions (u→v and v→u) once.
-	// Document building, code generation and plane loading are
-	// independent per rank, so they go through the worker pool too;
-	// every rank gets its own generator to keep the workers share-free.
-	fwd := make([]*microcode.Instr, p)
-	bwd := make([]*microcode.Instr, p)
-	if err := ParallelFor(m.Workers, p, func(r int) error {
-		doc, _, err := locals[r].BuildDocument(m.Cfg)
-		if err != nil {
-			return err
-		}
-		gen := codegen.New(arch.MustInventory(m.Cfg))
-		if fwd[r], _, err = gen.Pipeline(doc, doc.Pipes[0]); err != nil {
-			return err
-		}
-		if bwd[r], _, err = gen.Pipeline(doc, doc.Pipes[1]); err != nil {
-			return err
-		}
-		return locals[r].Load(m.Nodes[node(r)])
-	}); err != nil {
+	fab := m.Fabric()
+	fwd, bwd, err := engine.CompileSweeps(m.Cfg, m.Workers, locals, fab.Node)
+	if err != nil {
 		return nil, err
 	}
 
-	res := &JacobiResult{}
-	redFU := arch.FUID(11) // T4 slot 2 under the default triplet layout
-	retry := m.Retry.withDefaults()
-	sweep := make([]int64, p)
-
-	// Fault bookkeeping. All slices stay nil on the fault-free path,
-	// and per-rank deltas merge in rank order after every barrier so
-	// counters are identical at every worker count.
-	var fst FaultStats  // this solve's live counters
-	var base FaultStats // counters carried in from a restored snapshot
+	var base FaultStats
 	var pcBase sim.PlanCacheStats
 	var trapBase sim.TrapStats
-	var deltas []FaultStats
-	var budget []*BudgetError
-	if m.Faults != nil {
-		deltas = make([]FaultStats, p)
-		budget = make([]*BudgetError, p)
-	}
-	mergeDeltas := func() {
-		for r := range deltas {
-			fst.add(deltas[r])
-			deltas[r] = FaultStats{}
-		}
-	}
-	firstBudget := func() *BudgetError {
-		var be *BudgetError
-		for r := range budget {
-			if budget[r] != nil && be == nil {
-				be = budget[r]
-			}
-			budget[r] = nil
-		}
-		return be
-	}
-
-	startIt := 0
-	skipSnapshotAt := -1
-	restores := 0
+	var startSeries []float64
+	startIt, skipAt := 0, -1
 	if ck := m.Restore; ck != nil {
 		if err := ck.compatible(p, n, global.Nz, slab); err != nil {
 			return nil, err
@@ -351,286 +321,86 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 		if err := m.applyCheckpoint(ck); err != nil {
 			return nil, err
 		}
-		startIt = ck.Sweep
-		skipSnapshotAt = ck.Sweep
-		res.Iterations = ck.Sweep
-		res.ResidualSeries = append([]float64(nil), ck.Residuals...)
-		m.MachineCycles = ck.MachineCycles
-		m.CommCycles = ck.CommCycles
-		m.Faults.setFired(ck.FaultFired)
-		base = ck.Faults
-		pcBase = ck.PlanCache
-		trapBase = ck.Traps
+		startIt, skipAt = ck.Sweep, ck.Sweep
+		startSeries = ck.Residuals
+		m.MachineCycles, m.CommCycles = ck.MachineCycles, ck.CommCycles
+		m.Faults.SetFired(ck.FaultFired)
+		base, pcBase, trapBase = ck.Faults, ck.PlanCache, ck.Traps
 		m.LastCheckpoint = ck
 	}
 
-	// rollback restores the solve to the latest checkpoint after a
-	// retry budget exhausts, when policy still allows it. Simulated
-	// time is not rolled back: the lost work cost real cycles.
-	rollback := func(be *BudgetError) (int, error) {
-		ck := m.LastCheckpoint
-		if ck == nil || restores >= retry.MaxRestores {
-			return 0, be
-		}
-		if err := ck.compatible(p, n, global.Nz, slab); err != nil {
-			return 0, err
-		}
-		if err := m.applyCheckpoint(ck); err != nil {
-			return 0, err
-		}
-		restores++
-		fst.Restores++
-		res.Iterations = ck.Sweep
-		res.ResidualSeries = append(res.ResidualSeries[:0], ck.Residuals...)
-		skipSnapshotAt = ck.Sweep
-		return ck.Sweep, nil
-	}
-
-	for it := startIt; it < global.MaxIter; it++ {
-		// Sweep-boundary snapshot.
-		if m.CheckpointEvery > 0 && it%m.CheckpointEvery == 0 && it != skipSnapshotAt {
-			fst.Checkpoints++
+	er, err := engine.Run(&engine.Config{
+		Fabric: fab, Part: part, Workers: m.Workers, Pairs: m.pairs,
+		Faults: m.Faults, Retry: m.Retry, SerialExchange: m.SerialExchange,
+		ResidualFU: arch.FUID(11), // T4 slot 2 under the default triplet layout
+		Instr: func(it, r int) *microcode.Instr {
+			if it%2 == 1 {
+				return bwd[r]
+			}
+			return fwd[r]
+		},
+		PlaneOf: func(it int) int {
+			if it%2 == 1 {
+				return jacobi.PlaneU
+			}
+			return jacobi.PlaneV
+		},
+		MaxSweeps: global.MaxIter, StopAfter: m.StopAfter, Tol: global.Tol,
+		CheckpointEvery: m.CheckpointEvery,
+		StartSweep:      startIt, StartSeries: startSeries, SkipSnapshotAt: skipAt,
+		Take: func(sweep int, series []float64, live engine.FaultStats) error {
 			combined := base
-			combined.add(fst)
-			ck, err := m.snapshot(it, slab, global, res.ResidualSeries, combined, pcBase, trapBase)
+			combined.Add(live)
+			ck, err := m.snapshot(sweep, slab, global, series, combined, pcBase, trapBase)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			m.LastCheckpoint = ck
 			if m.CheckpointSink != nil {
 				if err := m.CheckpointSink(ck); err != nil {
-					return nil, fmt.Errorf("hypercube: checkpoint sink at sweep %d: %w", it, err)
+					return fmt.Errorf("hypercube: checkpoint sink at sweep %d: %w", sweep, err)
 				}
 			}
-		}
-
-		// Sweep on every node. Each node only mutates its own simulator
-		// state, so the sweeps dispatch across the worker pool; the
-		// cycle deltas land in a per-rank slice and merge after the
-		// barrier in rank order, keeping MachineCycles bit-identical to
-		// the sequential schedule. The critical path is the slowest
-		// node. A killed dispatch retries with backoff; an exhausted
-		// budget is recorded per rank and resolved after the barrier,
-		// so counters stay deterministic at every worker count.
-		if err := ParallelFor(m.Workers, p, func(r int) error {
-			nd := m.Nodes[node(r)]
-			in := fwd[r]
-			if it%2 == 1 {
-				in = bwd[r]
-			}
-			var extra int64 // injected stall + backoff cycles
-			if m.Faults != nil {
-				fs := &deltas[r]
-				for attempt := 0; ; attempt++ {
-					ev := m.Faults.trigger(it, PhaseDispatch, r)
-					if ev == nil {
-						break
-					}
-					fs.Injected++
-					if ev.Kind == FaultStall {
-						fs.Stalls++
-						fs.StallCycles += ev.Stall
-						extra += ev.Stall
-						break
-					}
-					fs.Kills++
-					if attempt+1 >= retry.MaxAttempts {
-						fs.Exhausted++
-						budget[r] = &BudgetError{Sweep: it, Phase: PhaseDispatch, Rank: r, Attempts: attempt + 1}
-						sweep[r] = extra
-						return nil
-					}
-					fs.Retries++
-					b := retry.backoff(attempt)
-					fs.BackoffCycles += b
-					extra += b
-				}
-			}
-			before := nd.Stats.Cycles
-			if err := nd.Exec(in); err != nil {
-				return fmt.Errorf("hypercube: node %d sweep %d: %w", r, it, err)
-			}
-			sweep[r] = nd.Stats.Cycles - before + extra
 			return nil
-		}); err != nil {
-			return nil, err
-		}
-		mergeDeltas()
-		var maxNode int64
-		for r := 0; r < p; r++ {
-			if sweep[r] > maxNode {
-				maxNode = sweep[r]
+		},
+		Rollback: func() (int, []float64, bool, error) {
+			ck := m.LastCheckpoint
+			if ck == nil {
+				return 0, nil, false, nil
 			}
-		}
-		if be := firstBudget(); be != nil {
-			// The aborted sweep still cost the machine its time.
-			m.MachineCycles += maxNode
-			at, err := rollback(be)
-			if err != nil {
-				return nil, err
+			if err := ck.compatible(p, n, global.Nz, slab); err != nil {
+				return 0, nil, false, err
 			}
-			it = at - 1
-			continue
-		}
-		curPlane := jacobi.PlaneV
-		if it%2 == 1 {
-			curPlane = jacobi.PlaneU
-		}
-		res.Iterations++
-		m.MachineCycles += maxNode
-
-		// Residual max-combine: log₂P exchange of one word. Lost or
-		// corrupted combine rounds re-send with backoff; the wasted
-		// round still crossed the wire, so it is charged too.
-		worst := 0.0
-		for r := 0; r < p; r++ {
-			if v := m.Nodes[node(r)].RedReg[redFU]; v > worst {
-				worst = v
+			if err := m.applyCheckpoint(ck); err != nil {
+				return 0, nil, false, err
 			}
-		}
-		if p > 1 {
-			step := m.SendCost(int64(m.Cfg.WordBytes), 1)
-			combine := int64(0)
-			var mergeBE *BudgetError
-			for d := 0; d < m.Dim && mergeBE == nil; d++ {
-				if m.Faults != nil {
-					for attempt := 0; ; attempt++ {
-						ev := m.Faults.trigger(it, PhaseMerge, d)
-						if ev == nil {
-							break
-						}
-						fst.Injected++
-						if ev.Kind == FaultStall {
-							fst.Stalls++
-							fst.StallCycles += ev.Stall
-							combine += ev.Stall
-							break
-						}
-						if ev.Kind == FaultCorrupt {
-							fst.Corruptions++
-						} else {
-							fst.Kills++
-						}
-						if attempt+1 >= retry.MaxAttempts {
-							fst.Exhausted++
-							mergeBE = &BudgetError{Sweep: it, Phase: PhaseMerge, Rank: d, Attempts: attempt + 1}
-							break
-						}
-						fst.Retries++
-						b := retry.backoff(attempt)
-						fst.BackoffCycles += b
-						combine += step + b
-					}
-				}
-				if mergeBE == nil {
-					combine += step
-				}
-			}
-			m.CommCycles += combine
-			m.MachineCycles += combine
-			if mergeBE != nil {
-				at, err := rollback(mergeBE)
-				if err != nil {
-					return nil, err
-				}
-				it = at - 1
-				continue
-			}
-		}
-		res.Residual = worst
-		res.ResidualSeries = append(res.ResidualSeries, worst)
-		if m.StopAfter > 0 {
-			if res.Iterations >= m.StopAfter {
-				res.Converged = worst < global.Tol
-				break
-			}
-		} else if worst < global.Tol {
-			res.Converged = true
-			break
-		}
-
-		// Ghost exchange on the current iterate plane: node r sends its
-		// last owned plane down-ring and its first owned plane up-ring.
-		// All pairs exchange concurrently, so the machine's critical
-		// path grows by one node's traffic (two face messages), while
-		// CommCycles keeps the aggregate router load. Pair (r, r+1)
-		// touches exactly two nodes, so even-r pairs are mutually
-		// disjoint (as are odd-r pairs): the exchange dispatches over
-		// the pool in two phases, recording per-pair router costs that
-		// merge into CommCycles in rank order after each phase.
-		pairCost := make([]int64, p)
-		for phase := 0; phase < 2; phase++ {
-			pairs := pairsOfParity(p, phase)
-			if err := ParallelFor(m.Workers, len(pairs), func(k int) error {
-				r := pairs[k]
-				if m.Faults == nil {
-					// r's plane kz=slab (global lo+slab-1) → (r+1)'s ghost kz=0.
-					down, err := m.copyPayload(node(r), curPlane, int64(slab*nn),
-						node(r+1), curPlane, 0, nn)
-					if err != nil {
-						return err
-					}
-					// (r+1)'s plane kz=1 → r's ghost kz=slab+1.
-					up, err := m.copyPayload(node(r+1), curPlane, int64(nn),
-						node(r), curPlane, int64((slab+1)*nn), nn)
-					if err != nil {
-						return err
-					}
-					pairCost[r] = down + up
-					return nil
-				}
-				return m.exchangePair(it, r, slab, nn, curPlane, retry, &deltas[r], &pairCost[r], budget)
-			}); err != nil {
-				return nil, err
-			}
-		}
-		mergeDeltas()
-		for r := 0; r+1 < p; r++ {
-			m.CommCycles += pairCost[r]
-		}
-		if p > 1 {
-			pairClean := 2 * m.SendCost(int64(nn)*int64(m.Cfg.WordBytes), 1)
-			m.MachineCycles += pairClean
-			if m.Faults != nil {
-				// Pairs exchange concurrently: the critical path grows
-				// by the worst pair's injected stall/backoff/resend.
-				var worstExtra int64
-				for r := 0; r+1 < p; r++ {
-					if ex := pairCost[r] - pairClean; ex > worstExtra {
-						worstExtra = ex
-					}
-				}
-				m.MachineCycles += worstExtra
-			}
-		}
-		if be := firstBudget(); be != nil {
-			at, err := rollback(be)
-			if err != nil {
-				return nil, err
-			}
-			it = at - 1
-			continue
-		}
+			return ck.Sweep, ck.Residuals, true, nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	// Assemble the global field from the owned planes.
+	// Assemble the global field from the owned planes; the global
+	// boundary planes keep their initial values.
+	res := &JacobiResult{
+		Iterations: er.Sweeps, Converged: er.Converged,
+		Residual: er.Residual, ResidualSeries: er.Series,
+		U: make([]float64, len(global.U0)),
+	}
 	finalPlane := jacobi.PlaneU
 	if res.Iterations%2 == 1 {
 		finalPlane = jacobi.PlaneV
 	}
-	res.U = make([]float64, len(global.U0))
-	// Global boundary planes keep their initial values.
 	copy(res.U[:nn], global.U0[:nn])
 	copy(res.U[(global.Nz-1)*nn:], global.U0[(global.Nz-1)*nn:])
 	for r := 0; r < p; r++ {
-		lo := 1 + r*slab
 		data, err := m.Nodes[node(r)].ReadWords(finalPlane, int64(nn), slab*nn)
 		if err != nil {
 			return nil, err
 		}
-		copy(res.U[lo*nn:(lo+slab)*nn], data)
+		copy(res.U[part.Lo[r]*nn:(part.Lo[r]+slab)*nn], data)
 	}
-
 	res.PlanCache = pcBase
 	for _, nd := range m.Nodes {
 		res.TotalFLOPs += nd.Stats.FLOPs
@@ -640,8 +410,8 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 		res.PlanCache.Entries += st.Entries
 	}
 	res.Faults = base
-	res.Faults.add(fst)
-	m.FaultCounters.add(fst)
+	res.Faults.Add(er.Faults)
+	m.FaultCounters.Add(er.Faults)
 	res.Traps = trapBase
 	for r := 0; r < p; r++ {
 		res.Traps.Add(m.Nodes[node(r)].TrapCounters)
@@ -654,79 +424,6 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 		return res, fmt.Errorf("hypercube: no convergence in %d iterations (residual %g)", res.Iterations, res.Residual)
 	}
 	return res, nil
-}
-
-// exchangePair performs one ring pair's ghost exchange under the fault
-// plan: kills drop the messages before transfer, corruptions deliver a
-// bit-flipped down payload that the modeled link CRC flags for
-// re-send, stalls delay the pair. All costs (wasted transfers, backoff,
-// stall) accumulate into *cost for the rank-order merge.
-func (m *Machine) exchangePair(it, r, slab, nn, curPlane int, retry RetryPolicy,
-	fs *FaultStats, cost *int64, budget []*BudgetError) error {
-	total := int64(0)
-	for attempt := 0; ; attempt++ {
-		ev := m.Faults.trigger(it, PhaseExchange, r)
-		corrupt := false
-		if ev != nil {
-			fs.Injected++
-			switch ev.Kind {
-			case FaultStall:
-				fs.Stalls++
-				fs.StallCycles += ev.Stall
-				total += ev.Stall
-				// The stalled transfer still completes below.
-			case FaultKill:
-				fs.Kills++
-				if attempt+1 >= retry.MaxAttempts {
-					fs.Exhausted++
-					budget[r] = &BudgetError{Sweep: it, Phase: PhaseExchange, Rank: r, Attempts: attempt + 1}
-					*cost = total
-					return nil
-				}
-				fs.Retries++
-				b := retry.backoff(attempt)
-				fs.BackoffCycles += b
-				total += b
-				continue // messages lost before any words moved
-			case FaultCorrupt:
-				corrupt = true
-			}
-		}
-		down, err := m.copyPayload(node(r), curPlane, int64(slab*nn),
-			node(r+1), curPlane, 0, nn)
-		if err != nil {
-			return err
-		}
-		up, err := m.copyPayload(node(r+1), curPlane, int64(nn),
-			node(r), curPlane, int64((slab+1)*nn), nn)
-		if err != nil {
-			return err
-		}
-		total += down + up
-		if corrupt {
-			// The down payload arrived bit-flipped; the link CRC flags
-			// it and the pair re-sends. The corrupted words really land
-			// in the ghost plane until the retry scrubs them — exactly
-			// the state a crash would leave behind.
-			fs.Corruptions++
-			if err := m.corruptWords(node(r+1), curPlane, 0, nn); err != nil {
-				return err
-			}
-			if attempt+1 >= retry.MaxAttempts {
-				fs.Exhausted++
-				budget[r] = &BudgetError{Sweep: it, Phase: PhaseExchange, Rank: r, Attempts: attempt + 1}
-				*cost = total
-				return nil
-			}
-			fs.Retries++
-			b := retry.backoff(attempt)
-			fs.BackoffCycles += b
-			total += b
-			continue
-		}
-		*cost = total
-		return nil
-	}
 }
 
 // corruptWords bit-flips count words at plane/addr of a node —
@@ -754,7 +451,7 @@ func (m *Machine) snapshot(it, slab int, global *jacobi.Problem,
 		MachineCycles: m.MachineCycles,
 		CommCycles:    m.CommCycles,
 		Faults:        faults,
-		FaultFired:    m.Faults.firedSnapshot(),
+		FaultFired:    m.Faults.FiredSnapshot(),
 		PlanCache:     pcBase,
 	}
 	words := (slab + 2) * nn
@@ -822,17 +519,6 @@ func (m *Machine) applyCheckpoint(ck *Checkpoint) error {
 // node maps ring rank r to its hypercube address via the Gray code, so
 // ring neighbours are physical neighbours.
 func node(r int) int { return GrayRank(r) }
-
-// pairsOfParity lists the ring-exchange pairs (r, r+1) whose lower
-// rank has the given parity. Within one parity class no two pairs
-// share a node, so the class can exchange concurrently.
-func pairsOfParity(p, parity int) []int {
-	var pairs []int
-	for r := parity; r+1 < p; r += 2 {
-		pairs = append(pairs, r)
-	}
-	return pairs
-}
 
 // InjectECC arms seeded memory-plane ECC events on ring rank r (the
 // rank is mapped through the Gray code like all ring addressing).

@@ -1,68 +1,12 @@
 package hypercube
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "repro/internal/engine"
 
 // ParallelFor runs fn(0..n-1) across a bounded pool of `workers`
-// goroutines. Semantics follow the errgroup shape: the first error
-// cancels — no new items start once any fn has failed, though items
-// already in flight run to completion. The returned error is
-// deterministic regardless of scheduling: among all failed items, the
-// one with the lowest index wins.
-//
-// workers <= 1 (or n <= 1) degenerates to a plain sequential loop with
-// fail-fast error return, so sequential and parallel callers share one
-// code path and produce identical effects. workers < 0 means
-// GOMAXPROCS.
+// goroutines; it moved to internal/engine with the solver runtime and
+// is re-exported here for existing callers. See engine.ParallelFor for
+// the full semantics (deterministic lowest-index error, fail-fast
+// sequential degeneration, workers < 0 = GOMAXPROCS).
 func ParallelFor(workers, n int, fn func(i int) error) error {
-	if n <= 0 {
-		return nil
-	}
-	if workers < 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n == 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	var (
-		next    atomic.Int64
-		stopped atomic.Bool
-		wg      sync.WaitGroup
-	)
-	errs := make([]error, n)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1) - 1)
-				if i >= n || stopped.Load() {
-					return
-				}
-				if err := fn(i); err != nil {
-					errs[i] = err
-					stopped.Store(true)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return engine.ParallelFor(workers, n, fn)
 }

@@ -80,28 +80,3 @@ func TestParallelForStopsIssuingAfterError(t *testing.T) {
 		t.Error("pool ran every item despite an early failure")
 	}
 }
-
-func TestPairsOfParity(t *testing.T) {
-	// 5 ranks: pairs (0,1),(1,2),(2,3),(3,4) split into even {0,2} and
-	// odd {1,3} phases; within a phase no rank appears in two pairs.
-	for _, tc := range []struct {
-		p, parity int
-		want      []int
-	}{
-		{5, 0, []int{0, 2}},
-		{5, 1, []int{1, 3}},
-		{2, 0, []int{0}},
-		{2, 1, nil},
-		{1, 0, nil},
-	} {
-		got := pairsOfParity(tc.p, tc.parity)
-		if len(got) != len(tc.want) {
-			t.Fatalf("pairsOfParity(%d,%d) = %v, want %v", tc.p, tc.parity, got, tc.want)
-		}
-		for i := range got {
-			if got[i] != tc.want[i] {
-				t.Fatalf("pairsOfParity(%d,%d) = %v, want %v", tc.p, tc.parity, got, tc.want)
-			}
-		}
-	}
-}

@@ -1,0 +1,343 @@
+package multigrid
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/codegen"
+	"repro/internal/engine"
+	"repro/internal/jacobi"
+	"repro/internal/microcode"
+	"repro/internal/sim"
+)
+
+// Distributed runs the V-cycle across an engine fabric (the hypercube,
+// through Machine.Fabric()): the finest grid is slab-decomposed over
+// the ranks exactly like the parallel Jacobi driver — every smoothing
+// sweep and the residual evaluation execute on partitioned slabs with
+// ghost-plane exchange through the engine loop — while the coarse
+// chain, too small to be worth distributing, runs as a standalone
+// Solver resident on rank 0's node behind its fine slab. The host
+// performs the grid transfers (gather-restrict, prolong-scatter),
+// standing in for the memory-reformatting phases of §3, and charges
+// the fabric for the slab traffic they imply.
+//
+// The trajectory is bit-identical to the single-node solver at any
+// rank and worker count: slab sweeps with current ghosts reproduce the
+// global sweeps exactly, the residual combine is a max of local maxima
+// (associative, so bitwise equal to the global max), and the grid
+// transfers consume only owned interior planes.
+type Distributed struct {
+	Fabric engine.Fabric
+	Cfg    arch.Config
+	Part   *engine.Partition
+
+	// Pre and Post mirror Solver: smoothing sweeps around the
+	// coarse-grid correction, both even.
+	Pre, Post int
+	Tol       float64
+	MaxCycles int
+
+	slabs  []*Level // per-rank fine-grid slab levels
+	coarse *Solver  // coarse chain on rank 0's node; nil when levels=1
+	loop   *engine.Loop
+	n      int
+	u0     []float64 // global fine initial guess (boundary assembly)
+
+	// Host-transfer scratch, allocated once and reused every cycle.
+	fineR   []float64
+	zeroU   []float64
+	op      int // monotone phase counter for the engine loop
+	gatherW []int64
+}
+
+// DistConfig parameterizes NewDistributed.
+type DistConfig struct {
+	// Fabric is the machine substrate (hypercube.Machine.Fabric()).
+	Fabric engine.Fabric
+	// Cfg is the node architecture.
+	Cfg arch.Config
+	// N is the fine grid edge (2^k+1); Levels the hierarchy depth.
+	N, Levels int
+	Tol       float64
+	MaxCycles int
+	// Workers bounds the host worker pool, as in hypercube.Machine.
+	Workers int
+	// SerialExchange forces the two-parity pairwise halo schedule
+	// (identical results; see engine.Config.SerialExchange).
+	SerialExchange bool
+	// Observe, when non-nil, receives one sample per engine phase.
+	Observe func(phase string, sweep int, cycles int64)
+}
+
+// DistResult reports a distributed multigrid solve. Machine clocks
+// accumulate on the fabric's owner (hypercube.Machine.MachineCycles /
+// CommCycles).
+type DistResult struct {
+	U              []float64
+	VCycles        int
+	Residual       float64
+	Converged      bool
+	ResidualSeries []float64
+	TotalFLOPs     int64
+	PlanCache      sim.PlanCacheStats
+}
+
+// NewDistributed partitions the fine grid over the fabric's ranks,
+// compiles each rank's slab pipelines, loads the slabs, and parks the
+// coarse hierarchy on rank 0's node.
+func NewDistributed(dc DistConfig) (*Distributed, error) {
+	if dc.Fabric == nil {
+		return nil, fmt.Errorf("multigrid: distributed solve needs a fabric")
+	}
+	if dc.Levels < 1 {
+		return nil, fmt.Errorf("multigrid: need at least one level")
+	}
+	n := dc.N
+	p := dc.Fabric.P()
+	part, err := engine.NewPartition(p, n, n)
+	if err != nil {
+		return nil, err
+	}
+	// The global fine problem, built exactly like the single-node
+	// solver's finest level: model problem, ω-damped interior mask.
+	gp := jacobi.NewModelProblem(n, dc.Tol, 1)
+	gp.H = 1 / float64(n-1)
+	d := &Distributed{
+		Fabric: dc.Fabric, Cfg: dc.Cfg, Part: part,
+		Pre: 2, Post: 2, Tol: dc.Tol, MaxCycles: dc.MaxCycles,
+		n: n, u0: append([]float64(nil), gp.U0...),
+		fineR: make([]float64, n*n*n),
+	}
+	d.slabs = make([]*Level, p)
+	for r := 0; r < p; r++ {
+		lp, err := part.Local(dc.Cfg, gp, r)
+		if err != nil {
+			return nil, err
+		}
+		lv := &Level{P: lp, BinMask: append([]float64(nil), lp.Mask...)}
+		for i, mv := range lp.Mask {
+			lp.Mask[i] = mv * DefaultOmega
+		}
+		d.slabs[r] = lv
+	}
+	// Compile and load every rank's slab pipelines concurrently: each
+	// rank touches only its own node and level.
+	if err := engine.ParallelFor(dc.Workers, p, func(r int) error {
+		nd := dc.Fabric.Node(r)
+		lv := d.slabs[r]
+		if err := buildLevel(dc.Cfg, codegen.New(nd.Inv), lv, dc.Tol); err != nil {
+			return fmt.Errorf("multigrid: rank %d slab: %w", r, err)
+		}
+		if err := lv.P.Load(nd); err != nil {
+			return err
+		}
+		return nd.WriteWords(jacobi.PlaneMask, lv.P.VarBase+int64(lv.P.Cells()), lv.BinMask)
+	}); err != nil {
+		return nil, err
+	}
+	if dc.Levels > 1 {
+		nc := (n-1)/2 + 1
+		if (nc-1)*2+1 != n {
+			return nil, fmt.Errorf("multigrid: fine grid %d is not 2·(coarse−1)+1; need n = 2^k+1", n)
+		}
+		// The coarse chain lives behind rank 0's slab storage, strided
+		// by the same rule the single-node hierarchy uses.
+		base := int64(2*d.slabs[0].P.Cells() + 2*n*n)
+		d.coarse, err = NewOnNode(dc.Cfg, dc.Fabric.Node(0), nc, dc.Levels-1, dc.Tol, dc.MaxCycles, base)
+		if err != nil {
+			return nil, err
+		}
+		d.zeroU = make([]float64, d.coarse.Levels[0].P.Cells())
+	}
+	d.loop, err = engine.NewLoop(&engine.Config{
+		Fabric: dc.Fabric, Part: part, Workers: dc.Workers,
+		ResidualFU:     arch.FUID(11), // T4 slot 2: the residual reduce
+		SerialExchange: dc.SerialExchange,
+		Observe:        dc.Observe,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// smooth runs `sweeps` damped-Jacobi sweeps on the slabs, exchanging
+// the freshly written plane's ghosts after every sweep so the next
+// sweep reads the current global iterate. Even sweep counts end in
+// plane U, like the single-node smoother.
+func (d *Distributed) smooth(sweeps int) error {
+	for i := 0; i < sweeps; i++ {
+		fwd := i%2 == 0
+		plane := jacobi.PlaneV
+		if !fwd {
+			plane = jacobi.PlaneU
+		}
+		if _, err := d.loop.Dispatch(d.op, func(r int) *microcode.Instr {
+			if fwd {
+				return d.slabs[r].fwd
+			}
+			return d.slabs[r].bwd
+		}, plane); err != nil {
+			return err
+		}
+		if _, err := d.loop.Exchange(d.op, plane); err != nil {
+			return err
+		}
+		d.op++
+	}
+	return nil
+}
+
+// hostTransfer charges the fabric for a host-mediated gather or
+// scatter: every rank moves words[r] words to or from rank 0, all
+// transfers concurrent, so CommCycles grows by the sum and the
+// critical path by the worst single transfer.
+func (d *Distributed) hostTransfer(words []int64) {
+	f := d.Fabric
+	wb := int64(f.WordBytes())
+	var worst int64
+	for r := 0; r < f.P(); r++ {
+		c := f.SendCost(words[r]*wb, f.Hops(r, 0))
+		f.AddCommCycles(c)
+		if c > worst {
+			worst = c
+		}
+	}
+	f.AddMachineCycles(worst)
+}
+
+// residual evaluates the fine residual on every slab (reduce registers
+// hold the local maxima afterwards).
+func (d *Distributed) residual() error {
+	_, err := d.loop.Dispatch(d.op, func(r int) *microcode.Instr {
+		return d.slabs[r].residual
+	}, -1)
+	d.op++
+	return err
+}
+
+// vcycle runs one distributed V-cycle: slab smoothing and residual on
+// the fabric, grid transfers through the host, the coarse chain on
+// rank 0's node.
+func (d *Distributed) vcycle() error {
+	if d.coarse == nil {
+		// Single level: the finest grid is also the coarsest.
+		return d.smooth(d.Pre + d.Post)
+	}
+	if err := d.smooth(d.Pre); err != nil {
+		return err
+	}
+	if err := d.residual(); err != nil {
+		return err
+	}
+	// Gather the owned residual planes to the host (boundary planes
+	// stay zero; restriction never reads them), restrict, and seed the
+	// coarse solve on rank 0.
+	f := d.Fabric
+	nn := d.n * d.n
+	pt := d.Part
+	if d.gatherW == nil {
+		d.gatherW = make([]int64, f.P())
+	}
+	for r := 0; r < f.P(); r++ {
+		lo := pt.Lo[r]
+		if err := f.Node(r).ReadWordsInto(PlaneR, int64(nn), d.fineR[lo*nn:(lo+pt.Planes[r])*nn]); err != nil {
+			return err
+		}
+		d.gatherW[r] = int64(pt.Planes[r] * nn)
+	}
+	d.hostTransfer(d.gatherW)
+	coarse := d.coarse.Levels[0]
+	cf := Restrict(d.fineR, d.n, coarse.P.N)
+	nd0 := f.Node(0)
+	if err := nd0.WriteWords(jacobi.PlaneF, coarse.P.VarBase, cf); err != nil {
+		return err
+	}
+	if err := nd0.WriteWords(jacobi.PlaneU, coarse.P.VarBase, d.zeroU); err != nil {
+		return err
+	}
+	// The coarse chain runs on rank 0 while the other ranks wait: its
+	// node time is machine critical path.
+	before := nd0.Stats.Cycles
+	if err := d.coarse.VCycle(); err != nil {
+		return err
+	}
+	f.AddMachineCycles(nd0.Stats.Cycles - before)
+	cu, err := nd0.ReadWords(jacobi.PlaneU, coarse.P.VarBase, coarse.P.Cells())
+	if err != nil {
+		return err
+	}
+	// Prolong the correction and scatter each rank's whole slab —
+	// ghost planes included, so the correction leaves them globally
+	// consistent and no exchange is needed before post-smoothing.
+	e := Prolong(cu, coarse.P.N, d.n)
+	for r := 0; r < f.P(); r++ {
+		lo := pt.Lo[r]
+		if err := f.Node(r).WriteWords(PlaneE, 0, e[(lo-1)*nn:(lo+pt.Planes[r]+1)*nn]); err != nil {
+			return err
+		}
+		d.gatherW[r] = int64((pt.Planes[r] + 2) * nn)
+	}
+	d.hostTransfer(d.gatherW)
+	if _, err := d.loop.Dispatch(d.op, func(r int) *microcode.Instr {
+		return d.slabs[r].correct
+	}, -1); err != nil {
+		return err
+	}
+	d.op++
+	if _, err := d.loop.Dispatch(d.op, func(r int) *microcode.Instr {
+		return d.slabs[r].copyVU
+	}, -1); err != nil {
+		return err
+	}
+	d.op++
+	return d.smooth(d.Post)
+}
+
+// Run iterates distributed V-cycles until the combined fine-grid
+// residual drops below tolerance, then assembles the global field from
+// the owned slab planes.
+func (d *Distributed) Run() (*DistResult, error) {
+	f := d.Fabric
+	res := &DistResult{}
+	for cyc := 0; cyc < d.MaxCycles; cyc++ {
+		if err := d.vcycle(); err != nil {
+			return nil, err
+		}
+		res.VCycles++
+		if err := d.residual(); err != nil {
+			return nil, err
+		}
+		worst, _ := d.loop.CombineResidual(d.op)
+		d.op++
+		res.Residual = worst
+		res.ResidualSeries = append(res.ResidualSeries, worst)
+		if worst < d.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	nn := d.n * d.n
+	res.U = make([]float64, d.n*nn)
+	copy(res.U[:nn], d.u0[:nn])
+	copy(res.U[(d.n-1)*nn:], d.u0[(d.n-1)*nn:])
+	for r := 0; r < f.P(); r++ {
+		lo := d.Part.Lo[r]
+		if err := f.Node(r).ReadWordsInto(jacobi.PlaneU, int64(nn), res.U[lo*nn:(lo+d.Part.Planes[r])*nn]); err != nil {
+			return nil, err
+		}
+	}
+	for r := 0; r < f.P(); r++ {
+		nd := f.Node(r)
+		res.TotalFLOPs += nd.Stats.FLOPs
+		st := nd.PlanCacheStats()
+		res.PlanCache.Hits += st.Hits
+		res.PlanCache.Misses += st.Misses
+		res.PlanCache.Entries += st.Entries
+	}
+	if !res.Converged {
+		return res, fmt.Errorf("multigrid: no convergence in %d V-cycles (residual %g)", res.VCycles, res.Residual)
+	}
+	return res, nil
+}

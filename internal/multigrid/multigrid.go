@@ -124,6 +124,10 @@ type Result struct {
 	PlanCache sim.PlanCacheStats
 	// Checkpoints counts V-cycle boundary snapshots taken.
 	Checkpoints int
+	// ResidualSeries holds the fine-grid residual after every V-cycle,
+	// in order — the trajectory the distributed solver must reproduce
+	// bit for bit.
+	ResidualSeries []float64
 	// Traps counts the exception/interrupt events raised during Run
 	// (arm detection via Solver.Node.TrapCfg; zero when traps are off).
 	Traps sim.TrapStats
@@ -132,17 +136,25 @@ type Result struct {
 // New builds a solver for an n×n×n fine grid (n = 2^k+1) with the
 // given number of levels; each coarser grid halves the spacing.
 func New(cfg arch.Config, n, levels int, tol float64, maxCycles int) (*Solver, error) {
-	if levels < 1 {
-		return nil, fmt.Errorf("multigrid: need at least one level")
-	}
 	node, err := sim.NewNode(cfg)
 	if err != nil {
 		return nil, err
 	}
+	return NewOnNode(cfg, node, n, levels, tol, maxCycles, 0)
+}
+
+// NewOnNode builds the hierarchy on an existing node with its levels
+// based at varBase, so a solver can share a node with other resident
+// state — the distributed driver parks the coarse chain behind rank
+// 0's fine-grid slab this way.
+func NewOnNode(cfg arch.Config, node *sim.Node, n, levels int, tol float64, maxCycles int, varBase int64) (*Solver, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("multigrid: need at least one level")
+	}
 	s := &Solver{Cfg: cfg, Node: node, Pre: 2, Post: 2, Omega: DefaultOmega, Tol: tol, MaxCycles: maxCycles}
 	gen := codegen.New(node.Inv)
 
-	var base int64
+	base := varBase
 	size := n
 	h := 1 / float64(n-1)
 	for l := 0; l < levels; l++ {
@@ -167,7 +179,7 @@ func New(cfg arch.Config, n, levels int, tol float64, maxCycles int) (*Solver, e
 				p.F[i] = 0
 			}
 		}
-		if err := s.buildLevel(gen, lv); err != nil {
+		if err := buildLevel(s.Cfg, gen, lv, tol); err != nil {
 			return nil, fmt.Errorf("multigrid: level %d: %w", l, err)
 		}
 		s.Levels = append(s.Levels, lv)
@@ -193,11 +205,12 @@ func New(cfg arch.Config, n, levels int, tol float64, maxCycles int) (*Solver, e
 func prevSize(s *Solver) int { return s.Levels[len(s.Levels)-1].P.N }
 
 // buildLevel programs the level's five instructions through the
-// editor.
-func (s *Solver) buildLevel(gen *codegen.Generator, lv *Level) error {
+// editor. It is a free function so the distributed driver can compile
+// a slab level without a Solver around it.
+func buildLevel(cfg arch.Config, gen *codegen.Generator, lv *Level, tol float64) error {
 	p := lv.P
 	// Smoothing sweeps come straight from the paper's example.
-	doc, _, err := p.BuildDocument(s.Cfg)
+	doc, _, err := p.BuildDocument(cfg)
 	if err != nil {
 		return err
 	}
@@ -209,7 +222,7 @@ func (s *Solver) buildLevel(gen *codegen.Generator, lv *Level) error {
 	}
 
 	ed := editor.New(gen.Inv, "mg-aux")
-	if _, err := ed.ExecScript(strings.NewReader(s.auxScript(p)), false); err != nil {
+	if _, err := ed.ExecScript(strings.NewReader(auxScript(p, tol)), false); err != nil {
 		return err
 	}
 	if lv.residual, _, err = gen.Pipeline(ed.Doc, ed.Doc.Pipes[0]); err != nil {
@@ -226,7 +239,7 @@ func (s *Solver) buildLevel(gen *codegen.Generator, lv *Level) error {
 
 // auxScript builds the residual, correction and copy pipelines for a
 // level. The binary mask lives behind the ω-mask in the same plane.
-func (s *Solver) auxScript(p *jacobi.Problem) string {
+func auxScript(p *jacobi.Problem, tol float64) string {
 	n, nn := p.N, p.N*p.N
 	cells := p.Cells()
 	c := cells + nn
@@ -277,7 +290,7 @@ func (s *Solver) auxScript(p *jacobi.Problem) string {
 	} {
 		fmt.Fprintf(&sb, "connect %s\n", w)
 	}
-	fmt.Fprintf(&sb, "compare T4.u2 lt %g flag=2\n", s.Tol)
+	fmt.Fprintf(&sb, "compare T4.u2 lt %g flag=2\n", tol)
 
 	// Pipeline 1: v = u + e.
 	sb.WriteString("pipe new correct\n")
@@ -315,6 +328,11 @@ func (s *Solver) smooth(l, sweeps int) error {
 	}
 	return nil
 }
+
+// VCycle performs one V-cycle from the finest level down and back —
+// the building block the distributed driver calls to run the coarse
+// chain on rank 0 between slab phases.
+func (s *Solver) VCycle() error { return s.vcycle(0) }
 
 // vcycle performs one V-cycle at level l.
 func (s *Solver) vcycle(l int) error {
@@ -401,6 +419,7 @@ func (s *Solver) Run() (*Result, error) {
 			return nil, err
 		}
 		res.Residual = s.Node.RedReg[11] // T4 slot 2 = FU 11
+		res.ResidualSeries = append(res.ResidualSeries, res.Residual)
 		if s.Node.Flag(2) {
 			res.Converged = true
 			break

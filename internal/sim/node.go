@@ -239,18 +239,29 @@ func (n *Node) WriteWords(plane int, addr int64, vals []float64) error {
 
 // ReadWords fetches count words from plane starting at addr.
 func (n *Node) ReadWords(plane int, addr int64, count int) ([]float64, error) {
-	if plane < 0 || plane >= len(n.Mem) {
-		return nil, fmt.Errorf("sim: plane %d out of range", plane)
-	}
 	out := make([]float64, count)
-	for i := range out {
-		v, err := n.Mem[plane].Read(addr + int64(i))
-		if err != nil {
-			return nil, err
-		}
-		out[i] = v
+	if err := n.ReadWordsInto(plane, addr, out); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// ReadWordsInto fetches len(dst) words from plane starting at addr
+// into a caller-owned buffer — the allocation-free path for callers
+// that read the same extent every iteration (halo gathers,
+// collectives).
+func (n *Node) ReadWordsInto(plane int, addr int64, dst []float64) error {
+	if plane < 0 || plane >= len(n.Mem) {
+		return fmt.Errorf("sim: plane %d out of range", plane)
+	}
+	for i := range dst {
+		v, err := n.Mem[plane].Read(addr + int64(i))
+		if err != nil {
+			return err
+		}
+		dst[i] = v
+	}
+	return nil
 }
 
 // Flag reports the state of sequencer flag k.

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// PhaseRecorder collects the engine loop's per-phase cycle samples
+// (dispatch, combine, exchange) — the observability hook behind
+// engine.Config.Observe. It is safe to share across solves and
+// goroutines; the engine calls Observe host-side after each barrier,
+// but a recorder may also be read while another solve is running.
+type PhaseRecorder struct {
+	mu sync.Mutex
+	// totals and counts per phase name.
+	cycles map[string]int64
+	counts map[string]int64
+}
+
+// NewPhaseRecorder returns an empty recorder.
+func NewPhaseRecorder() *PhaseRecorder {
+	return &PhaseRecorder{cycles: map[string]int64{}, counts: map[string]int64{}}
+}
+
+// Observe records one phase sample; pass this method as
+// engine.Config.Observe (or hypercube/multigrid observer options).
+func (pr *PhaseRecorder) Observe(phase string, sweep int, cycles int64) {
+	pr.mu.Lock()
+	pr.cycles[phase] += cycles
+	pr.counts[phase]++
+	pr.mu.Unlock()
+}
+
+// Phases returns the recorded phase names in sorted order.
+func (pr *PhaseRecorder) Phases() []string {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	out := make([]string, 0, len(pr.counts))
+	for ph := range pr.counts {
+		out = append(out, ph)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Totals returns the sample count and summed critical-path cycles for
+// a phase.
+func (pr *PhaseRecorder) Totals(phase string) (samples, cycles int64) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	return pr.counts[phase], pr.cycles[phase]
+}
+
+// Summary renders one line per phase: name, sample count, total cycles
+// charged to the machine critical path.
+func (pr *PhaseRecorder) Summary() string {
+	var sb strings.Builder
+	for _, ph := range pr.Phases() {
+		n, c := pr.Totals(ph)
+		fmt.Fprintf(&sb, "%-10s %6d samples %12d cycles\n", ph, n, c)
+	}
+	return sb.String()
+}

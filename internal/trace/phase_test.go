@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/hypercube"
+	"repro/internal/multigrid"
+)
+
+// TestPhaseRecorderObservesEngine: the recorder plugs into the engine
+// loop's Observe hook and accumulates per-phase critical-path samples
+// from a distributed solve.
+func TestPhaseRecorderObservesEngine(t *testing.T) {
+	cfg := arch.Default()
+	m, err := hypercube.New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewPhaseRecorder()
+	d, err := multigrid.NewDistributed(multigrid.DistConfig{
+		Fabric: m.Fabric(), Cfg: cfg,
+		N: 9, Levels: 2, Tol: 1e-6, MaxCycles: 60,
+		Workers: 2, Observe: rec.Observe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range []string{"dispatch", "combine", "exchange"} {
+		n, cycles := rec.Totals(ph)
+		if n == 0 {
+			t.Errorf("phase %s never observed", ph)
+		}
+		if ph != "exchange" && cycles == 0 {
+			t.Errorf("phase %s charged no cycles over %d samples", ph, n)
+		}
+		if !strings.Contains(rec.Summary(), ph) {
+			t.Errorf("summary omits %s:\n%s", ph, rec.Summary())
+		}
+	}
+	if got := rec.Phases(); len(got) != 3 {
+		t.Errorf("phases = %v", got)
+	}
+}
