@@ -11,6 +11,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/hypercube"
 	"repro/internal/jacobi"
+	"repro/internal/pipeline"
 	"repro/internal/sim"
 )
 
@@ -158,6 +159,49 @@ func runBenchJSON(stdout io.Writer, cfg arch.Config) error {
 			}
 		})
 		out = append(out, record(mode.name, r, nil))
+	}
+
+	// Compile cache: the content-addressed front end on the cold path
+	// (cache reset every iteration) versus the warm path (same document
+	// replayed from the cache). Mirrors BenchmarkCompileCache.
+	{
+		inv, err := arch.NewInventory(cfg)
+		if err != nil {
+			return err
+		}
+		p := jacobi.NewModelProblem(12, 1e-6, 1)
+		doc, _, err := p.BuildDocument(cfg)
+		if err != nil {
+			return err
+		}
+		pl := pipeline.New(inv)
+		cold := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pl.Cache.Reset()
+				if _, err := pl.CompileDocument(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		pl.Cache.Reset()
+		if _, err := pl.CompileDocument(doc); err != nil {
+			return err
+		}
+		warm := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pl.CompileDocument(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		cs := pl.Cache.Stats()
+		out = append(out, record("compile-cache/cold", cold, nil))
+		out = append(out, record("compile-cache/warm-hit", warm, map[string]float64{
+			"compile_hits":    float64(cs.Hits),
+			"compile_misses":  float64(cs.Misses),
+			"compile_entries": float64(cs.Entries),
+			"speedup":         float64(cold.T.Nanoseconds()) / float64(cold.N) / (float64(warm.T.Nanoseconds()) / float64(warm.N)),
+		}))
 	}
 
 	enc := json.NewEncoder(stdout)

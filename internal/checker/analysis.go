@@ -462,6 +462,17 @@ func (c *Checker) CheckDocument(doc *diagram.Document) []Diagnostic {
 	for _, p := range doc.Pipes {
 		diags = append(diags, c.CheckPipeline(doc, p)...)
 	}
+	diags = append(diags, c.CheckFlow(doc)...)
+	return diags
+}
+
+// CheckFlow checks the document-level control-flow region: label
+// uniqueness and reference validity, conditional branch targets, and
+// counter ranges. It is the non-pipeline half of CheckDocument, split
+// out so the incremental cache can reuse per-pipeline results while
+// always re-checking the (cheap) flow region.
+func (c *Checker) CheckFlow(doc *diagram.Document) []Diagnostic {
+	var diags []Diagnostic
 	labels := map[string]int{}
 	for i, op := range doc.Flow {
 		if op.Label != "" {

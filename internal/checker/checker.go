@@ -16,43 +16,26 @@ import (
 	"fmt"
 
 	"repro/internal/arch"
+	"repro/internal/diag"
 	"repro/internal/diagram"
 )
 
-// Severity grades a diagnostic.
-type Severity int
+// Severity grades a diagnostic. It aliases the shared diag.Severity so
+// every front-end component speaks one diagnostic vocabulary.
+type Severity = diag.Severity
 
 // Diagnostic severities.
 const (
 	// Warning marks suspicious but generatable constructs.
-	Warning Severity = iota
+	Warning = diag.Warning
 	// Error marks constructs the microcode generator will refuse.
-	Error
+	Error = diag.Error
 )
 
-func (s Severity) String() string {
-	if s == Error {
-		return "error"
-	}
-	return "warning"
-}
-
-// Diagnostic is one finding of the full check.
-type Diagnostic struct {
-	Rule     string
-	Severity Severity
-	Pipe     int
-	Icon     diagram.IconID // -1 when not icon-specific
-	Msg      string
-}
-
-func (d Diagnostic) String() string {
-	loc := fmt.Sprintf("pipe %d", d.Pipe)
-	if d.Icon >= 0 {
-		loc += fmt.Sprintf(" icon #%d", d.Icon)
-	}
-	return fmt.Sprintf("%s %s [%s]: %s", d.Severity, d.Rule, loc, d.Msg)
-}
+// Diagnostic is one finding of the full check: the shared typed record
+// (stable rule code, severity, pipeline, diagram icon, optional source
+// span and fix hint) defined in internal/diag.
+type Diagnostic = diag.Diagnostic
 
 // RuleError is returned by edit-time checks so callers can surface the
 // violated rule ID in the message strip.
@@ -105,11 +88,11 @@ func New(inv *arch.Inventory) *Checker { return &Checker{Inv: inv} }
 func slotCap(kind diagram.IconKind, slot int) (arch.Capability, error) {
 	alsKind, ok := kind.ALSKind()
 	if !ok {
-		return 0, fmt.Errorf("icon kind %s has no functional units", kind)
+		return 0, ruleErr(RuleOpCap, "icon kind %s has no functional units", kind)
 	}
 	n := kind.ActiveUnits()
 	if slot < 0 || slot >= n {
-		return 0, fmt.Errorf("unit slot %d out of range for %s", slot, kind)
+		return 0, ruleErr(RuleOpCap, "unit slot %d out of range for %s", slot, kind)
 	}
 	hw := alsKind.Units()
 	cap := arch.CapFloat
@@ -222,7 +205,7 @@ func (c *Checker) CanConnect(p *diagram.Pipeline, from, to diagram.PadRef, delay
 func (c *Checker) CanSetOp(ic *diagram.Icon, slot int, u diagram.UnitConfig) error {
 	cap, err := slotCap(ic.Kind, slot)
 	if err != nil {
-		return ruleErr(RuleOpCap, "%s", err)
+		return err
 	}
 	if !u.Op.Valid() {
 		return ruleErr(RuleOpCap, "undefined operation")

@@ -10,9 +10,11 @@ package codegen
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/checker"
+	"repro/internal/diag"
 	"repro/internal/diagram"
 	"repro/internal/microcode"
 )
@@ -22,6 +24,11 @@ type Generator struct {
 	Inv *arch.Inventory
 	F   *microcode.Format
 	Chk *checker.Checker
+	// Workers bounds concurrent pipeline elaboration in Lower and
+	// concurrent documents in Documents (0 or 1: sequential). Parallel
+	// output is identical to sequential — elaboration state is
+	// per-pipeline.
+	Workers int
 }
 
 // New returns a generator (and its embedded checker) for the inventory.
@@ -128,7 +135,7 @@ func (e *elaboration) assignHardware() error {
 		if kind, ok := ic.Kind.ALSKind(); ok {
 			pool := free[kind]
 			if len(pool) == 0 {
-				return fmt.Errorf("codegen: out of %ss for icon %q", kind, ic.Name)
+				return diag.Errorf(diag.RuleGenResource, "codegen: out of %ss for icon %q", kind, ic.Name)
 			}
 			als := pool[0]
 			free[kind] = pool[1:]
@@ -137,7 +144,7 @@ func (e *elaboration) assignHardware() error {
 			for slot := range units {
 				fu, err := e.g.Inv.UnitAt(als, slot)
 				if err != nil {
-					return fmt.Errorf("codegen: %v", err)
+					return diag.Errorf(diag.RuleGenResource, "codegen: %v", err)
 				}
 				units[slot] = fu.ID
 			}
@@ -146,7 +153,7 @@ func (e *elaboration) assignHardware() error {
 		}
 		if ic.Kind == diagram.IconSDU {
 			if sduNext >= e.g.Inv.Cfg.ShiftDelayUnits {
-				return fmt.Errorf("codegen: out of shift/delay units for icon %q", ic.Name)
+				return diag.Errorf(diag.RuleGenResource, "codegen: out of shift/delay units for icon %q", ic.Name)
 			}
 			e.sduOf[ic.ID] = sduNext
 			e.info.SDUMap[ic.ID] = sduNext
@@ -163,7 +170,7 @@ func (e *elaboration) constSlot(v float64) (int, error) {
 	}
 	k := len(e.consts)
 	if k >= microcode.ConstPoolSize {
-		return 0, fmt.Errorf("codegen: more than %d distinct constants in one instruction", microcode.ConstPoolSize)
+		return 0, diag.Errorf(diag.RuleGenResource, "codegen: more than %d distinct constants in one instruction", microcode.ConstPoolSize)
 	}
 	e.consts[v] = k
 	e.in.SetConst(k, v)
@@ -190,13 +197,13 @@ func (e *elaboration) sourceOf(pr diagram.PadRef) (arch.SourceID, error) {
 		u := e.sduOf[ic.ID]
 		t, ok := e.tapIndex[pr]
 		if !ok {
-			return arch.InvalidSource, fmt.Errorf("codegen: tap %s not configured", pr)
+			return arch.InvalidSource, diag.Errorf(diag.RuleGenStruct, "codegen: tap %s not configured", pr)
 		}
 		src = cfg.SrcSDUTap(u, t)
 	default:
 		slot, side, ok := diagram.UnitPad(pr.Pad)
 		if !ok || side != 2 {
-			return arch.InvalidSource, fmt.Errorf("codegen: %s is not a producing pad", pr)
+			return arch.InvalidSource, diag.Errorf(diag.RuleGenStruct, "codegen: %s is not a producing pad", pr)
 		}
 		src = cfg.SrcFUOut(e.unitOf[ic.ID][slot])
 	}
@@ -311,7 +318,7 @@ func (e *elaboration) emit() error {
 			if ic.WrDMA != nil {
 				w := e.p.WireTo(diagram.PadRef{Icon: ic.ID, Pad: "wr"})
 				if w == nil {
-					return fmt.Errorf("codegen: %s write DMA without a wire", ic.Name)
+					return diag.Errorf(diag.RuleGenStruct, "codegen: %s write DMA without a wire", ic.Name)
 				}
 				src, err := e.sourceOf(w.From)
 				if err != nil {
@@ -339,7 +346,7 @@ func (e *elaboration) emit() error {
 			if ic.WrDMA != nil {
 				w := e.p.WireTo(diagram.PadRef{Icon: ic.ID, Pad: "wr"})
 				if w == nil {
-					return fmt.Errorf("codegen: %s write DMA without a wire", ic.Name)
+					return diag.Errorf(diag.RuleGenStruct, "codegen: %s write DMA without a wire", ic.Name)
 				}
 				src, err := e.sourceOf(w.From)
 				if err != nil {
@@ -381,7 +388,7 @@ func (e *elaboration) resolveAddr(ic *diagram.Icon, spec *diagram.DMASpec) (int6
 	}
 	v, ok := e.doc.Decl(spec.Var)
 	if !ok {
-		return 0, fmt.Errorf("codegen: variable %q undeclared", spec.Var)
+		return 0, diag.Errorf(diag.RuleGenStruct, "codegen: variable %q undeclared", spec.Var)
 	}
 	return v.Base + spec.Offset, nil
 }
@@ -404,7 +411,7 @@ func (e *elaboration) emitCompare() error {
 	case "ge":
 		op = microcode.CmpGE
 	default:
-		return fmt.Errorf("codegen: compare op %q", cmp.Op)
+		return diag.Errorf(diag.RuleGenStruct, "codegen: compare op %q", cmp.Op)
 	}
 	s := e.in.SeqOf()
 	s.CmpEnable = true
@@ -420,12 +427,84 @@ func (e *elaboration) emitCompare() error {
 // (pipelines may be referenced several times), with sequencer fields
 // realizing the control-flow region. A document without flow ops
 // degenerates to executing its pipelines in order and halting.
+//
+// Document is the composition of the three back-end pipeline passes —
+// the document check, Lower, and Validate — kept as one call for
+// callers that do not need the passes individually.
 func (g *Generator) Document(doc *diagram.Document) (*microcode.Program, *Report, error) {
 	docDiags := g.Chk.CheckDocument(doc)
+	prog, rep, err := g.Finish(doc, docDiags)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, rep, nil
+}
+
+// Finish runs the lower and validate passes over a document whose
+// check pass already ran (docDiags are its findings): pipeline clients
+// call it so the cached or freshly computed check is not repeated.
+func (g *Generator) Finish(doc *diagram.Document, docDiags []checker.Diagnostic) (*microcode.Program, *Report, error) {
 	if es := checker.Errors(docDiags); len(es) > 0 {
 		return nil, nil, &CheckError{Diags: es}
 	}
-	rep := &Report{Warnings: docDiags}
+	prog, rep, err := g.Lower(doc)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Warnings = docDiags
+	if err := g.Validate(prog); err != nil {
+		return nil, nil, err
+	}
+	return prog, rep, nil
+}
+
+// Validate is the validate pass: the generated program through the
+// microcode format's structural validator, reported as a typed
+// diagnostic on failure.
+func (g *Generator) Validate(prog *microcode.Program) error {
+	if err := prog.Validate(); err != nil {
+		return diag.Errorf(diag.RuleGenStruct, "codegen: generated program invalid: %w", err)
+	}
+	return nil
+}
+
+// Documents lowers a batch of independent documents, concurrently when
+// g.Workers > 1. Results are positional: progs[i], reps[i] and errs[i]
+// belong to docs[i]. Each document runs the full Document composition.
+func (g *Generator) Documents(docs []*diagram.Document) (progs []*microcode.Program, reps []*Report, errs []error) {
+	progs = make([]*microcode.Program, len(docs))
+	reps = make([]*Report, len(docs))
+	errs = make([]error, len(docs))
+	workers := g.Workers
+	if workers <= 1 || len(docs) <= 1 {
+		for i, doc := range docs {
+			progs[i], reps[i], errs[i] = g.Document(doc)
+		}
+		return progs, reps, errs
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, doc := range docs {
+		wg.Add(1)
+		go func(i int, doc *diagram.Document) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			progs[i], reps[i], errs[i] = g.Document(doc)
+		}(i, doc)
+	}
+	wg.Wait()
+	return progs, reps, errs
+}
+
+// Lower is the codegen pass alone: elaborate an already-checked
+// document into a microcode program, without re-running the document
+// check or the final program validation. The caller fills the report's
+// Warnings. With g.Workers > 1 the distinct pipelines elaborate
+// concurrently — elaboration state is per-pipeline, so the result is
+// identical to the sequential pass.
+func (g *Generator) Lower(doc *diagram.Document) (*microcode.Program, *Report, error) {
+	rep := &Report{}
 
 	flow := doc.Flow
 	if len(flow) == 0 {
@@ -433,30 +512,66 @@ func (g *Generator) Document(doc *diagram.Document) (*microcode.Program, *Report
 			flow = append(flow, diagram.FlowOp{Pipe: i})
 		}
 		if len(flow) == 0 {
-			return nil, nil, fmt.Errorf("codegen: document %q has no pipelines", doc.Name)
+			return nil, nil, diag.Errorf(diag.RuleFlowGen, "codegen: document %q has no pipelines", doc.Name)
 		}
 		flow[len(flow)-1].Cond = diagram.CondHalt
 	}
 
-	// Elaborate each referenced pipeline once.
+	// Elaborate each referenced pipeline once, in first-reference order.
 	instrs := map[int]*microcode.Instr{}
+	var pipeOrder []int
+	var pipeRefs []*diagram.Pipeline
+	seen := map[int]bool{}
 	for _, op := range flow {
-		if op.Pipe < 0 {
+		if op.Pipe < 0 || seen[op.Pipe] {
 			continue
 		}
-		if _, done := instrs[op.Pipe]; done {
-			continue
-		}
+		seen[op.Pipe] = true
 		p, err := doc.Pipe(op.Pipe)
 		if err != nil {
 			return nil, nil, err
 		}
-		in, info, err := g.Pipeline(doc, p)
-		if err != nil {
-			return nil, nil, err
+		pipeOrder = append(pipeOrder, op.Pipe)
+		pipeRefs = append(pipeRefs, p)
+	}
+	type pipeOut struct {
+		in   *microcode.Instr
+		info *PipeInfo
+		err  error
+	}
+	outs := make([]pipeOut, len(pipeOrder))
+	if workers := g.Workers; workers > 1 && len(pipeOrder) > 1 {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for idx := range pipeOrder {
+			wg.Add(1)
+			go func(idx int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				outs[idx].in, outs[idx].info, outs[idx].err = g.Pipeline(doc, pipeRefs[idx])
+			}(idx)
 		}
-		instrs[op.Pipe] = in
-		rep.Pipes = append(rep.Pipes, *info)
+		wg.Wait()
+	} else {
+		for idx := range pipeOrder {
+			outs[idx].in, outs[idx].info, outs[idx].err = g.Pipeline(doc, pipeRefs[idx])
+			if outs[idx].err != nil {
+				break
+			}
+		}
+	}
+	for idx, id := range pipeOrder {
+		if outs[idx].err != nil {
+			// First flow-order failure wins, matching sequential.
+			return nil, nil, outs[idx].err
+		}
+		if outs[idx].in == nil {
+			// Sequential pass stopped at an earlier error.
+			break
+		}
+		instrs[id] = outs[idx].in
+		rep.Pipes = append(rep.Pipes, *outs[idx].info)
 	}
 
 	labels := map[string]int{}
@@ -500,7 +615,7 @@ func (g *Generator) Document(doc *diagram.Document) (*microcode.Program, *Report
 				s.Cond = microcode.CondHalt
 				next = i
 			} else {
-				return nil, nil, fmt.Errorf("codegen: flow op %d falls off the end of the program", i)
+				return nil, nil, diag.Errorf(diag.RuleFlowGen, "codegen: flow op %d falls off the end of the program", i)
 			}
 		}
 		s.Next = next
@@ -513,9 +628,6 @@ func (g *Generator) Document(doc *diagram.Document) (*microcode.Program, *Report
 		}
 		in.SetSeq(s)
 		prog.Append(in)
-	}
-	if err := prog.Validate(); err != nil {
-		return nil, nil, fmt.Errorf("codegen: generated program invalid: %w", err)
 	}
 	return prog, rep, nil
 }

@@ -3,8 +3,10 @@ package compiler
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/arch"
+	"repro/internal/diag"
 	"repro/internal/diagram"
 	"repro/internal/editor"
 )
@@ -18,6 +20,11 @@ type Options struct {
 	// memory plane. Arrays are assumed based at word 0 of their plane,
 	// with tail padding for the stream drain.
 	Planes map[string]int
+	// Workers bounds the number of statements compiled concurrently by
+	// CompileProgram/BuildProgram (0 or 1: sequential). Statements are
+	// independent once declarations are fixed, so the parallel build is
+	// bit-identical to the sequential one.
+	Workers int
 }
 
 // Result reports what the compiler produced.
@@ -59,34 +66,51 @@ type ProgramResult struct {
 // CompileProgram translates a sequence of stencil assignments into one
 // document: one pipeline per statement, executed in order by the
 // control-flow region, with shared variable declarations padded to the
-// largest alignment base any statement needs.
+// largest alignment base any statement needs. It is the parse pass
+// (ParseProgram) followed by the build-diagram pass (BuildProgram).
 func CompileProgram(stmts []string, inv *arch.Inventory, opt Options) (*ProgramResult, error) {
-	if len(stmts) == 0 {
-		return nil, fmt.Errorf("compiler: empty program")
+	parsed, err := ParseProgram(stmts)
+	if err != nil {
+		return nil, err
 	}
-	if opt.N < 1 || opt.Nz < 1 {
-		return nil, fmt.Errorf("compiler: grid %dx%dx%d invalid", opt.N, opt.N, opt.Nz)
+	return BuildProgram(parsed, inv, opt)
+}
+
+// ParseProgram is the parse pass: every statement through the stencil
+// grammar, errors tagged with the offending statement's index so
+// diagnostics carry a full source span.
+func ParseProgram(stmts []string) ([]*Stmt, error) {
+	if len(stmts) == 0 {
+		return nil, diag.Errorf(diag.RuleProgram, "compiler: empty program")
 	}
 	parsed := make([]*Stmt, len(stmts))
-	bases := make([]int, len(stmts))
-	maxBase := 0
 	for i, src := range stmts {
 		st, err := Parse(src)
 		if err != nil {
-			return nil, fmt.Errorf("compiler: statement %d: %w", i, err)
+			return nil, stmtErr(err, i)
 		}
 		parsed[i] = st
-		bases[i] = stmtBase(st, opt)
-		if bases[i] > maxBase {
-			maxBase = bases[i]
-		}
 	}
+	return parsed, nil
+}
 
-	ed := editor.New(inv, "compiled")
+// stmtErr wraps a statement-scoped error the way the compiler always
+// has ("compiler: statement %d: ..."), attaching the statement index to
+// typed diagnostics so their source spans survive the wrap.
+func stmtErr(err error, i int) error {
+	if de, ok := err.(*diag.DiagError); ok {
+		return de.WithStmt(i, fmt.Sprintf("compiler: statement %d: ", i))
+	}
+	return diag.Errorf(diag.RuleProgram, "compiler: statement %d: %w", i, err)
+}
+
+// programDecls computes the shared declaration list: every referenced
+// variable once, in first-reference order, padded for the deepest
+// stencil in the program.
+func programDecls(parsed []*Stmt, opt Options, maxBase int) ([]diagram.VarDecl, error) {
 	cells := opt.N * opt.N * opt.Nz
-	// Declare every referenced variable once, padded for the deepest
-	// stencil in the program.
 	declared := map[string]bool{}
+	var decls []diagram.VarDecl
 	for i, st := range parsed {
 		names := append(varNames(st.Expr), st.Dst)
 		for _, name := range names {
@@ -95,15 +119,52 @@ func CompileProgram(stmts []string, inv *arch.Inventory, opt Options) (*ProgramR
 			}
 			plane, ok := opt.Planes[name]
 			if !ok {
-				return nil, fmt.Errorf("compiler: statement %d: variable %q has no plane assignment", i, name)
+				e := diag.Errorf(diag.RuleNoPlane, "compiler: statement %d: variable %q has no plane assignment", i, name)
+				e.D.Span = &diag.Span{Stmt: i, Pos: -1}
+				e.D.Hint = fmt.Sprintf("map %q to a memory plane in Options.Planes", name)
+				return nil, e
 			}
-			if err := ed.Declare(diagram.VarDecl{Name: name, Plane: plane, Base: 0, Len: int64(cells + maxBase)}); err != nil {
-				return nil, err
-			}
+			decls = append(decls, diagram.VarDecl{Name: name, Plane: plane, Base: 0, Len: int64(cells + maxBase)})
 			declared[name] = true
 		}
 	}
+	return decls, nil
+}
 
+// BuildProgram is the build-diagram pass: parsed statements to one
+// multi-pipeline document. Statements share declarations but are
+// otherwise independent, so with opt.Workers > 1 they compile
+// concurrently into scratch documents merged in statement order; the
+// merged document is bit-identical to the sequential build.
+func BuildProgram(parsed []*Stmt, inv *arch.Inventory, opt Options) (*ProgramResult, error) {
+	if len(parsed) == 0 {
+		return nil, diag.Errorf(diag.RuleProgram, "compiler: empty program")
+	}
+	if opt.N < 1 || opt.Nz < 1 {
+		return nil, diag.Errorf(diag.RuleProgram, "compiler: grid %dx%dx%d invalid", opt.N, opt.N, opt.Nz)
+	}
+	bases := make([]int, len(parsed))
+	maxBase := 0
+	for i, st := range parsed {
+		bases[i] = stmtBase(st, opt)
+		if bases[i] > maxBase {
+			maxBase = bases[i]
+		}
+	}
+	decls, err := programDecls(parsed, opt, maxBase)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Workers > 1 && len(parsed) > 1 {
+		return buildParallel(parsed, inv, opt, bases, decls)
+	}
+
+	ed := editor.New(inv, "compiled")
+	for _, d := range decls {
+		if err := ed.Declare(d); err != nil {
+			return nil, err
+		}
+	}
 	out := &ProgramResult{}
 	for i, st := range parsed {
 		if i > 0 {
@@ -111,9 +172,80 @@ func CompileProgram(stmts []string, inv *arch.Inventory, opt Options) (*ProgramR
 		}
 		res, err := compileStmt(ed, st, inv, opt, bases[i])
 		if err != nil {
-			return nil, fmt.Errorf("compiler: statement %d: %w", i, err)
+			return nil, stmtErr(err, i)
 		}
 		out.Stmts = append(out.Stmts, res)
+		if err := ed.AddFlow(diagram.FlowOp{Pipe: i}); err != nil {
+			return nil, err
+		}
+	}
+	ed.Doc.Flow[len(ed.Doc.Flow)-1].Cond = diagram.CondHalt
+	ed.Doc.Name = "compiled-program"
+	out.Doc = ed.Doc
+	for _, r := range out.Stmts {
+		r.Doc = ed.Doc
+	}
+	return out, nil
+}
+
+// buildParallel compiles every statement into its own scratch editor
+// concurrently (at most opt.Workers at a time) and merges the scratch
+// pipelines, in statement order, into one document identical to the
+// sequential build: same declarations, same pipeline IDs and labels,
+// same flow region. Statement isolation is what makes this race-free —
+// each scratch editor owns its document until the deterministic merge.
+func buildParallel(parsed []*Stmt, inv *arch.Inventory, opt Options, bases []int, decls []diagram.VarDecl) (*ProgramResult, error) {
+	ed := editor.New(inv, "compiled")
+	for _, d := range decls {
+		if err := ed.Declare(d); err != nil {
+			return nil, err
+		}
+	}
+
+	n := len(parsed)
+	results := make([]*Result, n)
+	pipes := make([]*diagram.Pipeline, n)
+	errs := make([]error, n)
+	sem := make(chan struct{}, opt.Workers)
+	var wg sync.WaitGroup
+	for i := range parsed {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sed := editor.New(inv, "compiled")
+			p := sed.Doc.Pipes[0]
+			p.ID = i
+			if i > 0 {
+				p.Label = fmt.Sprintf("stmt%d", i)
+			}
+			for _, d := range decls {
+				if err := sed.Declare(d); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			res, err := compileStmt(sed, parsed[i], inv, opt, bases[i])
+			if err != nil {
+				errs[i] = stmtErr(err, i)
+				return
+			}
+			results[i] = res
+			pipes[i] = sed.Doc.Pipes[0]
+		}(i)
+	}
+	wg.Wait()
+	// Lowest statement index wins, matching the sequential error.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ed.Doc.Pipes = pipes
+	out := &ProgramResult{Stmts: results}
+	for i := range parsed {
 		if err := ed.AddFlow(diagram.FlowOp{Pipe: i}); err != nil {
 			return nil, err
 		}
@@ -205,7 +337,7 @@ func compileStmt(ed *editor.Editor, st *Stmt, inv *arch.Inventory, opt Options, 
 	}
 	root := intern(st.Expr)
 	if root.isConst {
-		return nil, fmt.Errorf("compiler: expression folds to the constant %g; nothing to stream", root.n.Val)
+		return nil, diag.Errorf(diag.RuleConstExpr, "compiler: expression folds to the constant %g; nothing to stream", root.n.Val)
 	}
 
 	// --- Collect variable references. ---
@@ -232,7 +364,7 @@ func compileStmt(ed *editor.Editor, st *Stmt, inv *arch.Inventory, opt Options, 
 		}
 	}
 	if len(vars) == 0 {
-		return nil, fmt.Errorf("compiler: expression references no variables")
+		return nil, diag.Errorf(diag.RuleConstExpr, "compiler: expression references no variables")
 	}
 
 	// Shifted variables stream through shift/delay units; plain
@@ -249,10 +381,10 @@ func compileStmt(ed *editor.Editor, st *Stmt, inv *arch.Inventory, opt Options, 
 	sort.Slice(plain, func(i, j int) bool { return plain[i].name < plain[j].name })
 	cfg := inv.Cfg
 	if len(shifted) > cfg.ShiftDelayUnits {
-		return nil, fmt.Errorf("compiler: %d shifted variables exceed the %d shift/delay units", len(shifted), cfg.ShiftDelayUnits)
+		return nil, diag.Errorf(diag.RuleCapacity, "compiler: %d shifted variables exceed the %d shift/delay units", len(shifted), cfg.ShiftDelayUnits)
 	}
 	if base-minOff > cfg.SDUBufferLen {
-		return nil, fmt.Errorf("compiler: stencil span %d exceeds the SDU buffer %d", base-minOff, cfg.SDUBufferLen)
+		return nil, diag.Errorf(diag.RuleCapacity, "compiler: stencil span %d exceeds the SDU buffer %d", base-minOff, cfg.SDUBufferLen)
 	}
 
 	// --- Build the diagram through the editor (declarations are the
@@ -278,7 +410,7 @@ func compileStmt(ed *editor.Editor, st *Stmt, inv *arch.Inventory, opt Options, 
 		}
 		sort.Ints(offs)
 		if len(offs) > cfg.SDUTaps {
-			return nil, fmt.Errorf("compiler: %q needs %d taps, machine has %d", vi.name, len(offs), cfg.SDUTaps)
+			return nil, diag.Errorf(diag.RuleCapacity, "compiler: %q needs %d taps, machine has %d", vi.name, len(offs), cfg.SDUTaps)
 		}
 		taps := make([]int, len(offs))
 		for t, o := range offs {
@@ -339,11 +471,11 @@ func compileStmt(ed *editor.Editor, st *Stmt, inv *arch.Inventory, opt Options, 
 		switch {
 		case r == nil: // unary
 			if l.isConst {
-				return nil, fmt.Errorf("compiler: unary %s of a constant should have folded", d.n.Kind)
+				return nil, diag.Errorf(diag.RuleConstExpr, "compiler: unary %s of a constant should have folded", d.n.Kind)
 			}
 			wireA = &l.pad
 		case l.isConst && r.isConst:
-			return nil, fmt.Errorf("compiler: %s of two constants should have folded", d.n.Kind)
+			return nil, diag.Errorf(diag.RuleConstExpr, "compiler: %s of two constants should have folded", d.n.Kind)
 		case r.isConst:
 			cv := r.n.Val
 			u.ConstB = &cv
@@ -440,7 +572,7 @@ func opFor(kind string) (arch.Op, error) {
 	case "max":
 		return arch.OpMax, nil
 	}
-	return arch.OpNop, fmt.Errorf("compiler: no functional-unit op for %q", kind)
+	return arch.OpNop, diag.Errorf(diag.RuleProgram, "compiler: no functional-unit op for %q", kind)
 }
 
 func commutative(op arch.Op) bool {
@@ -505,7 +637,7 @@ func (m *unitMapper) placeNext() error {
 		}
 		return nil
 	}
-	return fmt.Errorf("compiler: expression needs more function units than the node provides")
+	return diag.Errorf(diag.RuleCapacity, "compiler: expression needs more function units than the node provides")
 }
 
 // assign pops a slot able to perform op.
@@ -541,5 +673,5 @@ func (m *unitMapper) assign(op arch.Op) (slotRef, error) {
 			return slotRef{}, err
 		}
 	}
-	return slotRef{}, fmt.Errorf("compiler: unit assignment did not converge")
+	return slotRef{}, diag.Errorf(diag.RuleCapacity, "compiler: unit assignment did not converge")
 }

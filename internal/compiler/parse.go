@@ -22,6 +22,8 @@ import (
 	"strconv"
 	"strings"
 	"unicode"
+
+	"repro/internal/diag"
 )
 
 // Node is one expression AST node.
@@ -71,7 +73,7 @@ func (lx *lexer) next() rune {
 
 func (lx *lexer) expect(r rune) error {
 	if got := lx.next(); got != r {
-		return fmt.Errorf("compiler: expected %q at position %d, got %q", r, lx.pos, got)
+		return diag.ErrorfAt(diag.RuleParseSyntax, lx.pos, "compiler: expected %q at position %d, got %q", r, lx.pos, got)
 	}
 	return nil
 }
@@ -117,7 +119,7 @@ func Parse(src string) (*Stmt, error) {
 	lx := &lexer{src: []rune(src)}
 	dst := lx.ident()
 	if dst == "" {
-		return nil, fmt.Errorf("compiler: statement must start with a destination variable")
+		return nil, diag.ErrorfAt(diag.RuleParseSyntax, lx.pos, "compiler: statement must start with a destination variable")
 	}
 	if err := lx.expect('='); err != nil {
 		return nil, err
@@ -128,7 +130,7 @@ func Parse(src string) (*Stmt, error) {
 	}
 	lx.skip()
 	if lx.pos != len(lx.src) {
-		return nil, fmt.Errorf("compiler: trailing input %q", string(lx.src[lx.pos:]))
+		return nil, diag.ErrorfAt(diag.RuleParseSyntax, lx.pos, "compiler: trailing input %q", string(lx.src[lx.pos:]))
 	}
 	return &Stmt{Dst: dst, Expr: e}, nil
 }
@@ -206,7 +208,7 @@ func parseFactor(lx *lexer) (*Node, error) {
 	case unicode.IsDigit(r) || r == '.':
 		v, err := lx.number()
 		if err != nil {
-			return nil, fmt.Errorf("compiler: %v", err)
+			return nil, diag.ErrorfAt(diag.RuleParseSyntax, lx.pos, "compiler: %v", err)
 		}
 		return &Node{Kind: "num", Val: v}, nil
 	case unicode.IsLetter(r) || r == '_':
@@ -239,19 +241,19 @@ func parseFactor(lx *lexer) (*Node, error) {
 			}
 			var err error
 			if n.DX, err = lx.int(); err != nil {
-				return nil, fmt.Errorf("compiler: shift dx: %v", err)
+				return nil, diag.ErrorfAt(diag.RuleParseSyntax, lx.pos, "compiler: shift dx: %v", err)
 			}
 			if err := lx.expect(','); err != nil {
 				return nil, err
 			}
 			if n.DY, err = lx.int(); err != nil {
-				return nil, fmt.Errorf("compiler: shift dy: %v", err)
+				return nil, diag.ErrorfAt(diag.RuleParseSyntax, lx.pos, "compiler: shift dy: %v", err)
 			}
 			if err := lx.expect(','); err != nil {
 				return nil, err
 			}
 			if n.DZ, err = lx.int(); err != nil {
-				return nil, fmt.Errorf("compiler: shift dz: %v", err)
+				return nil, diag.ErrorfAt(diag.RuleParseSyntax, lx.pos, "compiler: shift dz: %v", err)
 			}
 			if err := lx.expect(')'); err != nil {
 				return nil, err
@@ -259,11 +261,17 @@ func parseFactor(lx *lexer) (*Node, error) {
 		}
 		return n, nil
 	case r == 0:
-		return nil, fmt.Errorf("compiler: unexpected end of expression")
+		return nil, diag.ErrorfAt(diag.RuleParseSyntax, lx.pos, "compiler: unexpected end of expression")
 	default:
-		return nil, fmt.Errorf("compiler: unexpected character %q", r)
+		return nil, diag.ErrorfAt(diag.RuleParseSyntax, lx.pos, "compiler: unexpected character %q", r)
 	}
 }
+
+// Vars lists the distinct variables the statement touches: every
+// variable its expression references, then the destination (which may
+// repeat a source). Plane-assignment helpers and fuzz harnesses use it
+// to build Options.Planes without re-walking the AST.
+func (st *Stmt) Vars() []string { return append(varNames(st.Expr), st.Dst) }
 
 // fold performs constant folding on a freshly built node.
 func fold(n *Node) *Node {

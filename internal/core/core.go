@@ -18,6 +18,7 @@ import (
 	"repro/internal/hypercube"
 	"repro/internal/microcode"
 	"repro/internal/multigrid"
+	"repro/internal/pipeline"
 	"repro/internal/render"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -31,6 +32,10 @@ type Environment struct {
 	Inv  *arch.Inventory
 	Ed   *editor.Editor
 	Gen  *codegen.Generator
+	// Pipe is the session's compilation pipeline: the pass-structured,
+	// cached front end every Generate call routes through. It shares
+	// the session's generator and checker.
+	Pipe *pipeline.Pipeline
 	Node *sim.Node
 	// Cube is the session's multi-node machine, built on demand by
 	// Hypercube. Nil until a multi-node solve is requested.
@@ -50,11 +55,16 @@ func New(cfg arch.Config) (*Environment, error) {
 	if err != nil {
 		return nil, err
 	}
+	gen := codegen.New(inv)
+	pipe := pipeline.New(inv)
+	pipe.Gen = gen
+	pipe.Chk = gen.Chk
 	return &Environment{
 		Cfg:  cfg,
 		Inv:  inv,
 		Ed:   editor.New(inv, "untitled"),
-		Gen:  codegen.New(inv),
+		Gen:  gen,
+		Pipe: pipe,
 		Node: node,
 	}, nil
 }
@@ -77,9 +87,27 @@ func (env *Environment) Script(src string) ([]editor.Event, error) {
 func (env *Environment) Check() []checker.Diagnostic { return env.Ed.Check() }
 
 // Generate translates the document to microcode, refusing on checker
-// errors (the Figure 3 "thorough check of global constraints").
+// errors (the Figure 3 "thorough check of global constraints"). The
+// work routes through the session's compilation pipeline: repeated
+// generation of an unchanged document is a compile-cache hit.
 func (env *Environment) Generate() (*microcode.Program, *codegen.Report, error) {
-	return env.Gen.Document(env.Ed.Doc)
+	res, err := env.Pipe.CompileDocument(env.Ed.Doc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Prog, res.Rep, nil
+}
+
+// CompileCacheStats reports the session pipeline's content-addressed
+// compile cache counters, the front-end mirror of PlanCacheStats.
+func (env *Environment) CompileCacheStats() pipeline.CacheStats {
+	return env.Pipe.Cache.Stats()
+}
+
+// CheckCacheStats reports the editor's incremental check cache
+// counters: per-pipeline checks replayed versus re-run.
+func (env *Environment) CheckCacheStats() checker.CheckCacheStats {
+	return env.Ed.CheckCacheStats()
 }
 
 // Execute runs a program on the environment's node.

@@ -16,6 +16,7 @@ import (
 	"io"
 
 	"repro/internal/arch"
+	"repro/internal/diag"
 )
 
 // IconKind enumerates the icon palette (Figure 4 plus the memory-plane,
@@ -114,8 +115,10 @@ func (k IconKind) ActiveUnits() int {
 	return 0
 }
 
-// IconID identifies an icon within one pipeline diagram.
-type IconID int
+// IconID identifies an icon within one pipeline diagram. It aliases
+// diag.IconID so diagnostics can reference diagram nodes without an
+// import cycle.
+type IconID = diag.IconID
 
 // PadRef names one I/O pad (the "short wires terminated by small black
 // circles" of §5) on a specific icon.
@@ -357,7 +360,7 @@ func (d *Document) AddPipeline(label string) *Pipeline {
 // Pipe returns the pipeline with the given ID.
 func (d *Document) Pipe(id int) (*Pipeline, error) {
 	if id < 0 || id >= len(d.Pipes) {
-		return nil, fmt.Errorf("diagram: pipeline %d out of range", id)
+		return nil, diag.Errorf(diag.RuleDiagram, "diagram: pipeline %d out of range", id)
 	}
 	return d.Pipes[id], nil
 }
@@ -388,10 +391,10 @@ func (d *Document) Declare(v VarDecl) {
 // must be unique within the pipeline.
 func (p *Pipeline) AddIcon(kind IconKind, name string, x, y int) (*Icon, error) {
 	if name == "" {
-		return nil, fmt.Errorf("diagram: icon needs a name")
+		return nil, diag.Errorf(diag.RuleDiagram, "diagram: icon needs a name")
 	}
 	if _, err := p.IconByName(name); err == nil {
-		return nil, fmt.Errorf("diagram: icon %q already exists in pipeline %d", name, p.ID)
+		return nil, diag.Errorf(diag.RuleDiagram, "diagram: icon %q already exists in pipeline %d", name, p.ID)
 	}
 	ic := &Icon{ID: p.nextID, Kind: kind, Name: name, X: x, Y: y}
 	if n := kind.ActiveUnits(); n > 0 {
@@ -409,7 +412,7 @@ func (p *Pipeline) Icon(id IconID) (*Icon, error) {
 			return ic, nil
 		}
 	}
-	return nil, fmt.Errorf("diagram: no icon #%d in pipeline %d", id, p.ID)
+	return nil, diag.Errorf(diag.RuleDiagram, "diagram: no icon #%d in pipeline %d", id, p.ID)
 }
 
 // IconByName returns the icon with the given user label.
@@ -419,7 +422,7 @@ func (p *Pipeline) IconByName(name string) (*Icon, error) {
 			return ic, nil
 		}
 	}
-	return nil, fmt.Errorf("diagram: no icon named %q in pipeline %d", name, p.ID)
+	return nil, diag.Errorf(diag.RuleDiagram, "diagram: no icon named %q in pipeline %d", name, p.ID)
 }
 
 // RemoveIcon deletes an icon and every wire touching it.
@@ -432,7 +435,7 @@ func (p *Pipeline) RemoveIcon(id IconID) error {
 		}
 	}
 	if idx < 0 {
-		return fmt.Errorf("diagram: no icon #%d in pipeline %d", id, p.ID)
+		return diag.Errorf(diag.RuleDiagram, "diagram: no icon #%d in pipeline %d", id, p.ID)
 	}
 	p.Icons = append(p.Icons[:idx], p.Icons[idx+1:]...)
 	kept := p.Wires[:0]
@@ -462,20 +465,20 @@ func (p *Pipeline) Connect(from, to PadRef, delay int) (*Wire, error) {
 		return nil, err
 	}
 	if in, ok := fi.Kind.PadDir(from.Pad); !ok {
-		return nil, fmt.Errorf("diagram: %s has no pad %q", fi.Name, from.Pad)
+		return nil, diag.Errorf(diag.RuleDiagram, "diagram: %s has no pad %q", fi.Name, from.Pad)
 	} else if in {
-		return nil, fmt.Errorf("diagram: pad %s.%s is an input, cannot source a wire", fi.Name, from.Pad)
+		return nil, diag.Errorf(diag.RuleDiagram, "diagram: pad %s.%s is an input, cannot source a wire", fi.Name, from.Pad)
 	}
 	if in, ok := ti.Kind.PadDir(to.Pad); !ok {
-		return nil, fmt.Errorf("diagram: %s has no pad %q", ti.Name, to.Pad)
+		return nil, diag.Errorf(diag.RuleDiagram, "diagram: %s has no pad %q", ti.Name, to.Pad)
 	} else if !in {
-		return nil, fmt.Errorf("diagram: pad %s.%s is an output, cannot terminate a wire", ti.Name, to.Pad)
+		return nil, diag.Errorf(diag.RuleDiagram, "diagram: pad %s.%s is an output, cannot terminate a wire", ti.Name, to.Pad)
 	}
 	if w := p.WireTo(to); w != nil {
-		return nil, fmt.Errorf("diagram: pad %s.%s is already driven", ti.Name, to.Pad)
+		return nil, diag.Errorf(diag.RuleDiagram, "diagram: pad %s.%s is already driven", ti.Name, to.Pad)
 	}
 	if delay < 0 {
-		return nil, fmt.Errorf("diagram: negative delay %d", delay)
+		return nil, diag.Errorf(diag.RuleDiagram, "diagram: negative delay %d", delay)
 	}
 	w := &Wire{From: from, To: to, Delay: delay}
 	p.Wires = append(p.Wires, w)
@@ -490,7 +493,7 @@ func (p *Pipeline) Disconnect(to PadRef) error {
 			return nil
 		}
 	}
-	return fmt.Errorf("diagram: no wire terminates at %s", to)
+	return diag.Errorf(diag.RuleDiagram, "diagram: no wire terminates at %s", to)
 }
 
 // WireTo returns the wire terminating at pad to, or nil.
@@ -540,7 +543,7 @@ func (d *Document) Save(w io.Writer) error {
 func Load(r io.Reader) (*Document, error) {
 	var d Document
 	if err := json.NewDecoder(r).Decode(&d); err != nil {
-		return nil, fmt.Errorf("diagram: decoding document: %w", err)
+		return nil, diag.Errorf(diag.RuleDocIO, "diagram: decoding document: %w", err)
 	}
 	for _, p := range d.Pipes {
 		for _, ic := range p.Icons {

@@ -51,18 +51,23 @@ type Editor struct {
 	redo []string
 	// Log is the message-strip history of the session.
 	Log []Event
+	// checkCache memoizes per-pipeline check results so interactive
+	// re-checks only re-run the passes whose pipeline actually changed.
+	checkCache *checker.CheckCache
 }
 
 // New returns an editor over a fresh document.
 func New(inv *arch.Inventory, docName string) *Editor {
-	e := &Editor{Inv: inv, Chk: checker.New(inv), Doc: diagram.NewDocument(docName)}
+	e := &Editor{Inv: inv, Chk: checker.New(inv), Doc: diagram.NewDocument(docName),
+		checkCache: checker.NewCheckCache()}
 	e.Doc.AddPipeline("pipe0")
 	return e
 }
 
 // Open returns an editor over an existing document.
 func Open(inv *arch.Inventory, doc *diagram.Document) *Editor {
-	e := &Editor{Inv: inv, Chk: checker.New(inv), Doc: doc}
+	e := &Editor{Inv: inv, Chk: checker.New(inv), Doc: doc,
+		checkCache: checker.NewCheckCache()}
 	if len(doc.Pipes) == 0 {
 		doc.AddPipeline("pipe0")
 	}
@@ -465,9 +470,17 @@ func (e *Editor) AddFlow(op diagram.FlowOp) error {
 // Check runs the full checker over the document and returns all
 // diagnostics (the "more extensive checking ... when the visual
 // representations are translated to microcode" is the generator's
-// call; this is the on-demand variant).
+// call; this is the on-demand variant). Per-pipeline results are
+// served from the editor's incremental check cache: pipelines the
+// session has not touched since the last Check are not re-checked.
 func (e *Editor) Check() []checker.Diagnostic {
-	return e.Chk.CheckDocument(e.Doc)
+	return e.checkCache.CheckDocument(e.Chk, e.Doc)
+}
+
+// CheckCacheStats reports the incremental check cache's counters: how
+// many per-pipeline checks were replayed versus re-run.
+func (e *Editor) CheckCacheStats() checker.CheckCacheStats {
+	return e.checkCache.Stats()
 }
 
 // logf appends to the message strip and passes the error through.
