@@ -14,6 +14,12 @@
 //
 // -stats prints per-pipeline elaboration statistics, per-pass timings
 // and the compile-cache counters.
+//
+// -metrics-json and -trace-out arm the unified observability layer on
+// the compilation: pass counters and wall-clock histograms plus one
+// span per pass, written after the run as sorted metrics JSON and as a
+// Chrome trace_event file (chrome://tracing, Perfetto). Either flag
+// takes "-" for stdout.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"repro/internal/diag"
 	"repro/internal/diagram"
 	"repro/internal/microcode"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -44,6 +51,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dis := fs.Bool("dis", false, "print the disassembly of the generated program")
 	stats := fs.Bool("stats", false, "print elaboration statistics, pass timings and cache counters")
 	diagJSON := fs.Bool("diag-json", false, "emit pipeline diagnostics as JSON on stdout")
+	metricsJSON := fs.String("metrics-json", "", "write the compile's metrics registry as JSON to this file (- = stdout)")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace_event file of the passes (- = stdout)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -61,6 +70,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fatal(stderr, err)
 	}
 	pl := pipeline.New(inv)
+	var o *obs.Obs
+	if *metricsJSON != "" || *traceOut != "" {
+		o = obs.New()
+		pl.Obs = o
+	}
 
 	var prog *microcode.Program
 	if *asm != "" {
@@ -130,6 +144,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := f.Close(); err != nil {
 			return fatal(stderr, err)
 		}
+	}
+	if err := o.WriteFiles(stdout, *metricsJSON, *traceOut); err != nil {
+		return fatal(stderr, err)
 	}
 	return 0
 }

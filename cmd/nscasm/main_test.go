@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -119,6 +120,62 @@ func TestStatsIncludesPassesAndCache(t *testing.T) {
 	for _, want := range []string{"pipeline 0:", "pass check", "pass codegen", "pass validate", "compile cache: 0 hit(s) 1 miss(es) 1 entrie(s)"} {
 		if !strings.Contains(stdout, want) {
 			t.Errorf("stats output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestObsFlags: -metrics-json and -trace-out report the compile's
+// pass counters and spans. Pass wall times vary run to run, so this
+// checks structure, not bytes: one run per pass counter, a cache miss,
+// and one trace span per pass.
+func TestObsFlags(t *testing.T) {
+	doc := writeDoc(t, flowDoc)
+	mPath := filepath.Join(t.TempDir(), "metrics.json")
+	tPath := filepath.Join(t.TempDir(), "trace.json")
+	_, stderr, code := runCLI(t, "-in", doc, "-metrics-json", mPath, "-trace-out", tPath)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	var metrics struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	raw, err := os.ReadFile(mPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &metrics); err != nil {
+		t.Fatalf("metrics output is not JSON: %v", err)
+	}
+	for _, c := range []string{
+		"pipeline.pass.check", "pipeline.pass.codegen", "pipeline.pass.validate",
+		"pipeline.cache.miss",
+	} {
+		if metrics.Counters[c] != 1 {
+			t.Errorf("counter %s = %d, want 1 (all: %v)", c, metrics.Counters[c], metrics.Counters)
+		}
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	raw, err = os.ReadFile(tPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace output is not JSON: %v", err)
+	}
+	got := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		if ev.Cat == "pipeline" {
+			got[ev.Name] = true
+		}
+	}
+	for _, p := range []string{"check", "codegen", "validate"} {
+		if !got[p] {
+			t.Errorf("trace missing pass span %q (has %v)", p, got)
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/hypercube"
 	"repro/internal/jacobi"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
 )
@@ -38,8 +39,9 @@ func record(name string, r testing.BenchmarkResult, metrics map[string]float64) 
 }
 
 // benchSolve runs the 8-node fault-free Jacobi solve that
-// BenchmarkEngineOverlap times, with either halo schedule.
-func benchSolve(cfg arch.Config, serial bool) (*hypercube.JacobiResult, *hypercube.Machine, error) {
+// BenchmarkEngineOverlap times, with either halo schedule; o, when
+// non-nil, arms the observability layer on the machine.
+func benchSolve(cfg arch.Config, serial bool, o *obs.Obs) (*hypercube.JacobiResult, *hypercube.Machine, error) {
 	m, err := hypercube.New(cfg, 3)
 	if err != nil {
 		return nil, nil, err
@@ -47,6 +49,7 @@ func benchSolve(cfg arch.Config, serial bool) (*hypercube.JacobiResult, *hypercu
 	m.Workers = runtime.GOMAXPROCS(0)
 	m.StopAfter = 12
 	m.SerialExchange = serial
+	m.Obs = o
 	g := jacobi.NewModelProblem(8, 1e-4, 400)
 	g.Nz = m.P()*2 + 2
 	g.F = make([]float64, g.Cells())
@@ -78,7 +81,7 @@ func runBenchJSON(stdout io.Writer, cfg arch.Config) error {
 		var cycles, comm int64
 		r := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, m, err := benchSolve(cfg, mode.serial)
+				_, m, err := benchSolve(cfg, mode.serial, nil)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -201,6 +204,34 @@ func runBenchJSON(stdout io.Writer, cfg arch.Config) error {
 			"compile_misses":  float64(cs.Misses),
 			"compile_entries": float64(cs.Entries),
 			"speedup":         float64(cold.T.Nanoseconds()) / float64(cold.N) / (float64(warm.T.Nanoseconds()) / float64(warm.N)),
+		}))
+	}
+
+	// Observability overhead: the same multi-node solve with the
+	// unified obs layer disabled and armed. Simulated clocks must be
+	// identical — the layer only reads simulated state — so both records
+	// carry them for the differential check; wall time is the overhead.
+	for _, mode := range []struct {
+		name  string
+		armed bool
+	}{{"obs-overhead/disabled", false}, {"obs-overhead/enabled", true}} {
+		var cycles, comm int64
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var o *obs.Obs
+				if mode.armed {
+					o = obs.New()
+				}
+				_, m, err := benchSolve(cfg, false, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles, comm = m.MachineCycles, m.CommCycles
+			}
+		})
+		out = append(out, record(mode.name, r, map[string]float64{
+			"machine_cycles": float64(cycles),
+			"comm_cycles":    float64(comm),
 		}))
 	}
 

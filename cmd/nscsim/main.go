@@ -41,6 +41,17 @@
 // decoded-plan cache, trap-detection overhead) through the benchmark
 // harness and emits one JSON record per probe; BENCH_PR4.json in the
 // repo root is a committed reference run.
+//
+// -metrics-json and -trace-out arm the unified observability layer on
+// the run (both -prog and -jacobi): after execution, -metrics-json
+// writes the metrics registry (counters, gauges, log₂ histograms) as
+// sorted JSON and -trace-out writes a Chrome trace_event file that
+// chrome://tracing and https://ui.perfetto.dev load directly — the
+// engine's phase timeline on track 0, each rank's dispatch/trap/ECC
+// stream on track rank+1, all timestamped in simulated cycles. Either
+// flag takes "-" for stdout. Everything recorded derives from
+// simulated state, so the artifacts are bit-identical at any -par or
+// worker setting.
 package main
 
 import (
@@ -56,6 +67,7 @@ import (
 	"repro/internal/hypercube"
 	"repro/internal/jacobi"
 	"repro/internal/microcode"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -89,6 +101,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	eccFaults := fs.String("ecc-faults", "", "seed ECC events for -jacobi: rank:plane:addr:{single|double},...")
 	verifyCk := fs.String("verify-checkpoint", "", "verify a snapshot file's section checksums and exit")
 	benchJSON := fs.Bool("bench-json", false, "run the performance probes and emit JSON records")
+	metricsJSON := fs.String("metrics-json", "", "write the run's metrics registry as JSON to this file (- = stdout)")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace_event file for chrome://tracing / Perfetto (- = stdout)")
 	var loads, dumps multi
 	fs.Var(&loads, "load", "plane:addr:file — preload plane data")
 	fs.Var(&dumps, "dump", "plane:addr:count — print plane words after the run")
@@ -127,8 +141,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	trap := arch.TrapConfig{Policy: pol, WatchdogCycles: *watchdog}
 
+	// Either observability flag arms the unified layer; nil keeps every
+	// instrumented path on its zero-cost branch.
+	var o *obs.Obs
+	if *metricsJSON != "" || *traceOut != "" {
+		o = obs.New()
+	}
+
 	if *jacobiN > 0 {
-		err := runJacobi(stdout, cfg, *jacobiN, *cubeDim, *sweeps, *faults, *ckEvery, *ckPath, *restore, trap, *eccFaults)
+		err := runJacobi(stdout, cfg, *jacobiN, *cubeDim, *sweeps, *faults, *ckEvery, *ckPath, *restore, trap, *eccFaults, o)
+		if err == nil {
+			err = o.WriteFiles(stdout, *metricsJSON, *traceOut)
+		}
 		if err != nil {
 			fmt.Fprintln(stderr, "nscsim:", err)
 			return 1
@@ -157,6 +181,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		n.TrapCfg = trap
+		n.Obs = o
+		n.ObsID = i
 		nodes[i] = n
 	}
 	f, err := os.Open(*progPath)
@@ -249,18 +275,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stdout)
 	}
+	if err := o.WriteFiles(stdout, *metricsJSON, *traceOut); err != nil {
+		fmt.Fprintln(stderr, "nscsim:", err)
+		return 1
+	}
 	return 0
 }
 
 // runJacobi drives the multi-node solver with the robustness knobs.
 func runJacobi(stdout io.Writer, cfg arch.Config, n, dim, sweeps int,
 	faultSpec string, ckEvery int, ckPath, restore string,
-	trap arch.TrapConfig, eccSpec string) error {
+	trap arch.TrapConfig, eccSpec string, o *obs.Obs) error {
 	m, err := hypercube.New(cfg, dim)
 	if err != nil {
 		return err
 	}
 	m.Workers = -1
+	m.Obs = o
 	m.StopAfter = sweeps
 	m.CheckpointEvery = ckEvery
 	m.Trap = trap

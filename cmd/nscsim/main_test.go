@@ -2,9 +2,12 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -185,6 +188,111 @@ func TestVerifyCheckpointCLI(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "corrupt") && !strings.Contains(stderr, "truncated") {
 		t.Errorf("corruption error: %s", stderr)
+	}
+}
+
+// TestMetricsJSONGolden pins the -metrics-json document of a clean
+// fixed-sweep multi-node solve byte for byte. Every recorded value
+// derives from simulated state (node cycle clocks, engine critical
+// path), so the document is deterministic at any worker count.
+func TestMetricsJSONGolden(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	_, stderr, code := runCLI(t, "-jacobi", "8", "-cube", "2", "-sweeps", "4", "-metrics-json", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics", string(got))
+}
+
+// TestTraceOutChromeFormat: -trace-out on a 4-rank solve writes a
+// trace_event document Perfetto can load — an events array with the
+// engine phase track (tid 0) and one track per ring rank (tid 1..4).
+func TestTraceOutChromeFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	_, stderr, code := runCLI(t, "-jacobi", "8", "-cube", "2", "-sweeps", "4", "-trace-out", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			TID   int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not JSON: %v", err)
+	}
+	tids := map[int]bool{}
+	phases := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		tids[ev.TID] = true
+		if ev.TID == 0 {
+			phases[ev.Name] = true
+		}
+	}
+	for tid := 0; tid <= 4; tid++ {
+		if !tids[tid] {
+			t.Errorf("no events on track %d (tracks: %v)", tid, tids)
+		}
+	}
+	for _, ph := range []string{"dispatch", "combine", "exchange"} {
+		if !phases[ph] {
+			t.Errorf("engine track missing phase %q (has %v)", ph, phases)
+		}
+	}
+}
+
+// TestBenchJSONGolden pins the shape of the -bench-json report — the
+// probe names and their metric keys, in order — with the measured
+// numbers dropped (wall time varies run to run). The simulated-clock
+// metrics are then spot-checked directly: the obs-overhead pair must
+// report identical machine and comm cycles, the disabled-vs-enabled
+// determinism contract.
+func TestBenchJSONGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench emitter runs full benchmark probes (~10s)")
+	}
+	stdout, stderr, code := runCLI(t, "-bench-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	var recs []struct {
+		Name    string             `json:"name"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &recs); err != nil {
+		t.Fatalf("bench output is not JSON: %v", err)
+	}
+	var sb strings.Builder
+	byName := map[string]map[string]float64{}
+	for _, r := range recs {
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&sb, "%s [%s]\n", r.Name, strings.Join(keys, " "))
+		byName[r.Name] = r.Metrics
+	}
+	checkGolden(t, "bench-shape", sb.String())
+
+	off, on := byName["obs-overhead/disabled"], byName["obs-overhead/enabled"]
+	if off == nil || on == nil {
+		t.Fatal("obs-overhead records missing")
+	}
+	if off["machine_cycles"] == 0 ||
+		off["machine_cycles"] != on["machine_cycles"] ||
+		off["comm_cycles"] != on["comm_cycles"] {
+		t.Errorf("obs layer changed the simulated clocks: disabled=%v enabled=%v", off, on)
 	}
 }
 

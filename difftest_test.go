@@ -1,0 +1,104 @@
+// Differential tests: the same solve replayed at several worker counts
+// must produce bit-identical residual series, simulated clocks, and —
+// with the unified observability layer armed — identical metric totals.
+// CI runs these under the race detector (-race -run TestDifferential)
+// so the worker-pool dispatch is checked for data races at the same
+// time its determinism contract is checked for drift.
+package repro_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/obs/difftest"
+)
+
+// difftestWorkers is the ladder every scenario climbs: sequential
+// reference, then increasingly contended pools.
+func difftestWorkers() []int {
+	return []int{1, 2, 4, 8, runtime.GOMAXPROCS(0)}
+}
+
+// TestDifferentialSolvers runs the full battery — Jacobi clean, serial
+// exchange, faulted with checkpoint recovery, ECC with trap retry, and
+// distributed multigrid — across the worker ladder.
+func TestDifferentialSolvers(t *testing.T) {
+	for _, sc := range difftest.Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			if err := difftest.Check([]difftest.Scenario{sc}, difftestWorkers()); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestDifferentialSchedules cross-checks the two halo schedules: the
+// overlapped gather/scatter path and the serial two-parity path promise
+// identical simulated observables, not just internal consistency.
+func TestDifferentialSchedules(t *testing.T) {
+	scs := difftest.Scenarios()
+	var clean, serial *difftest.Scenario
+	for i := range scs {
+		switch scs[i].Name {
+		case "jacobi/clean":
+			clean = &scs[i]
+		case "jacobi/serial-exchange":
+			serial = &scs[i]
+		}
+	}
+	if clean == nil || serial == nil {
+		t.Fatal("battery is missing the clean or serial-exchange scenario")
+	}
+	a, err := clean.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := serial.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := difftest.Diff("overlap", a, "serial", b); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDifferentialRecovery pins the harness's strongest claim: the
+// faulted run's residual series matches the clean run's bit for bit —
+// recovery restores the exact trajectory — while its clocks grow and
+// its fault metrics are nonzero.
+func TestDifferentialRecovery(t *testing.T) {
+	scs := difftest.Scenarios()
+	var clean, faulted *difftest.Scenario
+	for i := range scs {
+		switch scs[i].Name {
+		case "jacobi/clean":
+			clean = &scs[i]
+		case "jacobi/faulted":
+			faulted = &scs[i]
+		}
+	}
+	if clean == nil || faulted == nil {
+		t.Fatal("battery is missing the clean or faulted scenario")
+	}
+	a, err := clean.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := faulted.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Series) != len(b.Series) {
+		t.Fatalf("series length %d vs %d", len(a.Series), len(b.Series))
+	}
+	for i := range a.Series {
+		if a.Series[i] != b.Series[i] {
+			t.Errorf("residual[%d]: clean %.17g faulted %.17g", i, a.Series[i], b.Series[i])
+		}
+	}
+	if b.MachineCycles <= a.MachineCycles {
+		t.Errorf("faulted run not slower: %d vs clean %d", b.MachineCycles, a.MachineCycles)
+	}
+}

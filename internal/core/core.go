@@ -18,6 +18,7 @@ import (
 	"repro/internal/hypercube"
 	"repro/internal/microcode"
 	"repro/internal/multigrid"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/render"
 	"repro/internal/sim"
@@ -43,6 +44,10 @@ type Environment struct {
 	// Trap is the session's exception policy, applied to the node and
 	// to any cube (including ones built later) by SetTrapPolicy.
 	Trap arch.TrapConfig
+	// Obs is the session's observability layer, attached by SetObs to
+	// the pipeline, the single node (shard 0) and any cube (including
+	// ones built later). Nil keeps every instrumented path disabled.
+	Obs *obs.Obs
 }
 
 // New creates an environment for the given machine description.
@@ -135,8 +140,23 @@ func (env *Environment) Hypercube(dim int) (*hypercube.Machine, error) {
 		return nil, err
 	}
 	m.Trap = env.Trap
+	m.Obs = env.Obs
 	env.Cube = m
 	return m, nil
+}
+
+// SetObs arms (or disarms) the unified observability layer for the
+// whole session: the compilation pipeline, the single node, and the
+// cube's nodes at the start of each multi-node solve.
+func (env *Environment) SetObs(o *obs.Obs) {
+	env.Obs = o
+	env.Pipe.Obs = o
+	env.Node.Obs = o
+	env.Node.ObsID = 0
+	if env.Cube != nil {
+		env.Cube.Obs = o
+		env.Cube.ArmObs()
+	}
 }
 
 // DistributedMultigrid runs a V-cycle solve for an n×n×n model problem
@@ -149,10 +169,11 @@ func (env *Environment) DistributedMultigrid(dim, n, levels int, tol float64, ma
 	if err != nil {
 		return nil, err
 	}
+	m.ArmObs()
 	d, err := multigrid.NewDistributed(multigrid.DistConfig{
 		Fabric: m.Fabric(), Cfg: env.Cfg,
 		N: n, Levels: levels, Tol: tol, MaxCycles: maxCycles,
-		Workers: m.Workers,
+		Workers: m.Workers, Obs: m.Obs,
 	})
 	if err != nil {
 		return nil, err

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/microcode"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -97,6 +98,15 @@ type Config struct {
 	// host-side after each barrier; nil costs nothing.
 	Observe func(phase string, sweep int, cycles int64)
 
+	// Obs, when non-nil, routes the same per-phase samples into the
+	// unified observability layer: an "engine.phase.<name>" counter and
+	// ".cycles" histogram per phase, plus one span per phase on tracer
+	// shard 0 whose timeline is the loop's accumulated simulated
+	// critical path. Everything recorded is derived from simulated
+	// cycles after a barrier, so metrics, spans and results are
+	// bit-identical at every worker count.
+	Obs *obs.Obs
+
 	// The fields below drive Run; Loop-level clients ignore them.
 
 	// Instr selects the instruction rank r executes on a sweep;
@@ -151,6 +161,11 @@ type Loop struct {
 	// (first owned plane). Allocated once per loop and reused every
 	// sweep.
 	halo [][]float64
+
+	// simTS is the loop's observability timeline: the simulated
+	// critical-path cycles accumulated by observed phases, used as span
+	// timestamps so traces replay the machine's time, not the host's.
+	simTS int64
 }
 
 // NewLoop builds a loop over the configured fabric and partition.
@@ -212,8 +227,17 @@ func (lp *Loop) firstBudget() *BudgetError {
 	return be
 }
 
-// observe reports a completed phase to the configured observer.
+// observe reports a completed phase to the configured observer and the
+// unified observability layer. Called host-side after the phase's
+// barrier, so span order on shard 0 is the loop's deterministic phase
+// order.
 func (lp *Loop) observe(phase string, sweep int, cycles int64) {
+	if o := lp.cfg.Obs; o != nil {
+		o.Inc("engine.phase." + phase)
+		o.Observe("engine.phase."+phase+".cycles", cycles)
+		o.Span(0, "engine", phase, lp.simTS, cycles, map[string]int64{"sweep": int64(sweep)})
+		lp.simTS += cycles
+	}
 	if lp.cfg.Observe != nil {
 		lp.cfg.Observe(phase, sweep, cycles)
 	}
@@ -599,6 +623,9 @@ func Run(cfg *Config) (*RunResult, error) {
 			if err := cfg.Take(it, res.Series, lp.fst); err != nil {
 				return nil, err
 			}
+			// Snapshots are host-side and free in simulated time; the
+			// zero-cycle phase still marks the boundary on the timeline.
+			lp.observe("checkpoint", it, 0)
 		}
 
 		be, err := lp.Dispatch(it, func(r int) *microcode.Instr { return cfg.Instr(it, r) }, cfg.PlaneOf(it))

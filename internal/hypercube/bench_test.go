@@ -3,6 +3,8 @@ package hypercube
 import (
 	"runtime"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // BenchmarkEngineOverlap measures the host wall-time effect of the
@@ -44,6 +46,56 @@ func BenchmarkEngineOverlap(b *testing.B) {
 			var cycles int64
 			for i := 0; i < b.N; i++ {
 				_, m := solve(mode.serial)
+				cycles = m.MachineCycles
+			}
+			b.ReportMetric(float64(cycles), "machine-cycles")
+		})
+	}
+}
+
+// BenchmarkObsOverhead measures the wall-time cost of the unified
+// observability layer on the same solve, disabled (nil Obs — every
+// instrumented site takes its zero-cost branch) versus armed (counters,
+// histograms and one span per exec/phase). Simulated observables are
+// asserted identical first: the layer only reads simulated state, so
+// arming it may cost host time but must never move machine time.
+func BenchmarkObsOverhead(b *testing.B) {
+	solve := func(o *obs.Obs) (*JacobiResult, *Machine) {
+		m, err := New(smallCfg(), 3) // 8 nodes
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Workers = runtime.GOMAXPROCS(0)
+		m.StopAfter = 12
+		m.Obs = o
+		res, err := m.SolveJacobi(parallelProblem(m.P()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res, m
+	}
+	rd, md := solve(nil)
+	re, me := solve(obs.New())
+	if md.MachineCycles != me.MachineCycles || md.CommCycles != me.CommCycles ||
+		rd.Residual != re.Residual || rd.Iterations != re.Iterations {
+		b.Fatalf("obs changed simulated observables: disabled (%d,%d,%g), enabled (%d,%d,%g)",
+			md.MachineCycles, md.CommCycles, rd.Residual, me.MachineCycles, me.CommCycles, re.Residual)
+	}
+	for _, mode := range []struct {
+		name  string
+		armed bool
+	}{
+		{"disabled", false},
+		{"enabled", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				var o *obs.Obs
+				if mode.armed {
+					o = obs.New()
+				}
+				_, m := solve(o)
 				cycles = m.MachineCycles
 			}
 			b.ReportMetric(float64(cycles), "machine-cycles")

@@ -26,6 +26,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/jacobi"
 	"repro/internal/microcode"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -88,6 +89,18 @@ type Machine struct {
 	// the start of each solve. The zero value (policy off) keeps the
 	// exact seed behaviour.
 	Trap arch.TrapConfig
+
+	// Obs, when non-nil, arms the unified observability layer on every
+	// solve: the engine loop's phase spans and counters land on tracer
+	// shard 0 and each node's dispatch/trap/ECC stream lands on shard
+	// rank+1 (ring rank order, so a Perfetto track per rank). Nil keeps
+	// every instrumented path on its zero-cost branch.
+	Obs *obs.Obs
+
+	// Observe, when non-nil, receives one sample per completed engine
+	// phase (see engine.Config.Observe). The callback runs on the
+	// engine's coordinating goroutine, never concurrently.
+	Observe func(phase string, sweep int, cycles int64)
 
 	// pairs holds the parity classes of the ring-exchange pairs,
 	// precomputed at construction (they depend only on P).
@@ -236,6 +249,18 @@ func (f fabric) AddCommCycles(c int64)    { f.m.CommCycles += c }
 // clients (SolveJacobi, the distributed multigrid) run on it.
 func (m *Machine) Fabric() engine.Fabric { return fabric{m} }
 
+// ArmObs points every node's observability hook at the machine's Obs
+// (or detaches them when Obs is nil). Shard 0 is the engine's phase
+// track, so ring rank r records on shard r+1 — one Perfetto track per
+// rank, in ring order.
+func (m *Machine) ArmObs() {
+	for r := 0; r < m.P(); r++ {
+		nd := m.Nodes[node(r)]
+		nd.Obs = m.Obs
+		nd.ObsID = r + 1
+	}
+}
+
 // JacobiResult reports a multi-node solve.
 type JacobiResult struct {
 	U          []float64 // assembled global field
@@ -287,6 +312,7 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 	for _, nd := range m.Nodes {
 		nd.TrapCfg = m.Trap
 	}
+	m.ArmObs()
 	inner := global.Nz - 2
 	if inner <= 0 || inner%p != 0 {
 		return nil, fmt.Errorf("hypercube: %d interior planes do not divide across %d nodes", inner, p)
@@ -332,6 +358,7 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 	er, err := engine.Run(&engine.Config{
 		Fabric: fab, Part: part, Workers: m.Workers, Pairs: m.pairs,
 		Faults: m.Faults, Retry: m.Retry, SerialExchange: m.SerialExchange,
+		Obs: m.Obs, Observe: m.Observe,
 		ResidualFU: arch.FUID(11), // T4 slot 2 under the default triplet layout
 		Instr: func(it, r int) *microcode.Instr {
 			if it%2 == 1 {

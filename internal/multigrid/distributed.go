@@ -8,6 +8,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/jacobi"
 	"repro/internal/microcode"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -68,6 +69,11 @@ type DistConfig struct {
 	SerialExchange bool
 	// Observe, when non-nil, receives one sample per engine phase.
 	Observe func(phase string, sweep int, cycles int64)
+	// Obs, when non-nil, routes the engine loop's phase samples into
+	// the unified observability layer (see engine.Config.Obs). Node-
+	// level streams are armed by the fabric's owner
+	// (hypercube.Machine.Obs), not here.
+	Obs *obs.Obs
 }
 
 // DistResult reports a distributed multigrid solve. Machine clocks
@@ -155,6 +161,7 @@ func NewDistributed(dc DistConfig) (*Distributed, error) {
 		ResidualFU:     arch.FUID(11), // T4 slot 2: the residual reduce
 		SerialExchange: dc.SerialExchange,
 		Observe:        dc.Observe,
+		Obs:            dc.Obs,
 	})
 	if err != nil {
 		return nil, err

@@ -24,6 +24,7 @@ import (
 	"repro/internal/diag"
 	"repro/internal/diagram"
 	"repro/internal/microcode"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -110,6 +111,14 @@ type Pipeline struct {
 	// "pipeline:<pass>", cycles = wall-clock microseconds. Nil disables
 	// timing export (Result.Passes is always filled).
 	Rec *trace.PhaseRecorder
+	// Obs, when non-nil, routes pass runs and compile-cache probes into
+	// the unified observability layer: a "pipeline.pass.<name>" counter
+	// and ".us" wall-clock histogram per pass, one span per pass on
+	// tracer shard 0, and "pipeline.cache.hit"/".miss" counters. Pass
+	// timings are host wall time — unlike the engine's simulated-cycle
+	// metrics they vary run to run, so differential comparisons exclude
+	// the ".us" histograms.
+	Obs *obs.Obs
 	// Workers bounds intra-run parallelism (statements in the build
 	// pass, pipelines in the codegen pass).
 	Workers int
@@ -133,6 +142,7 @@ func New(inv *arch.Inventory) *Pipeline {
 func (pl *Pipeline) run(st *State, passes []Pass) (*Result, error) {
 	res := &Result{}
 	var failed error
+	var runTS int64 // span timeline: μs into this run
 	for _, p := range passes {
 		t0 := time.Now()
 		err := p.Run(pl, st)
@@ -140,6 +150,13 @@ func (pl *Pipeline) run(st *State, passes []Pass) (*Result, error) {
 		res.Passes = append(res.Passes, PassTiming{Name: p.Name(), Duration: d})
 		if pl.Rec != nil {
 			pl.Rec.Observe("pipeline:"+p.Name(), 0, d.Microseconds())
+		}
+		if o := pl.Obs; o != nil {
+			us := d.Microseconds()
+			o.Inc("pipeline.pass." + p.Name())
+			o.Observe("pipeline.pass."+p.Name()+".us", us)
+			o.Span(0, "pipeline", p.Name(), runTS, us, nil)
+			runTS += us
 		}
 		if err != nil {
 			if _, isCheck := err.(*codegen.CheckError); !isCheck {
@@ -251,8 +268,10 @@ func (pl *Pipeline) CompileSource(stmts []string, opt compiler.Options) (*Result
 	if pl.Cache != nil {
 		key = sourceCacheKey(pl.Inv.Cfg, stmts, opt)
 		if res, ok := pl.Cache.lookup(key); ok {
+			pl.Obs.Inc("pipeline.cache.hit")
 			return res, nil
 		}
+		pl.Obs.Inc("pipeline.cache.miss")
 	}
 	st := &State{Stmts: stmts, Opt: opt}
 	res, err := pl.run(st, sourcePasses())
@@ -272,8 +291,10 @@ func (pl *Pipeline) CompileDocument(doc *diagram.Document) (*Result, error) {
 		key, err = documentCacheKey(pl.Inv.Cfg, doc)
 		if err == nil {
 			if res, ok := pl.Cache.lookup(key); ok {
+				pl.Obs.Inc("pipeline.cache.hit")
 				return res, nil
 			}
+			pl.Obs.Inc("pipeline.cache.miss")
 		} else {
 			key = "" // unhashable document: compile uncached
 		}

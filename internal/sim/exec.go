@@ -44,10 +44,12 @@ func (n *Node) ExecUncached(in *microcode.Instr) error {
 // re-dispatch under the retry policy starts from identical state.
 func (n *Node) run(pl *ExecPlan) error {
 	cfg := n.Cfg
+	start := n.Stats.Cycles
 	if pl.control {
 		// Pure control instruction: just issue overhead.
 		n.Stats.Instructions++
 		n.Stats.Cycles += int64(cfg.IssueOverheadCycles)
+		n.observeExec(start)
 		return n.finishInstr(pl.seq, pl.cmpTh)
 	}
 
@@ -57,10 +59,12 @@ func (n *Node) run(pl *ExecPlan) error {
 	// Fatal under the halt policy; an alarm interrupt under the rest.
 	if tc.WatchdogCycles > 0 && int64(pl.T)+int64(cfg.IssueOverheadCycles) > tc.WatchdogCycles {
 		n.TrapCounters.Watchdog++
+		n.Obs.Inc("sim.trap." + TrapWatchdog.String())
 		tr := &Trap{Kind: TrapWatchdog, Cycle: pl.T, At: n.Stats.Cycles}
 		n.recordTrap(tr)
 		if tc.Policy == arch.TrapHalt {
 			n.TrapCounters.Halts++
+			n.Obs.Inc("sim.trap.halts")
 			return &TrapError{Trap: *tr, Attempts: 1}
 		}
 	}
@@ -85,9 +89,11 @@ func (n *Node) run(pl *ExecPlan) error {
 			n.Stats.Cycles += b
 			n.TrapCounters.Retries++
 			n.TrapCounters.RetryCycles += wasted + b
+			n.Obs.Inc("sim.trap.retries")
 			continue
 		}
 		n.TrapCounters.Halts++
+		n.Obs.Inc("sim.trap.halts")
 		return &TrapError{Trap: *tr, Attempts: attempt + 1}
 	}
 
@@ -138,7 +144,22 @@ func (n *Node) run(pl *ExecPlan) error {
 	for _, p := range pl.swaps {
 		n.Cache[p].Swap()
 	}
+	n.observeExec(start)
 	return n.finishInstr(pl.seq, pl.cmpTh)
+}
+
+// observeExec reports one completed dispatch to the unified
+// observability layer: counters plus one span on the node's tracer
+// shard. The span timeline is the node's own cycle clock, so traces
+// are deterministic at every worker count.
+func (n *Node) observeExec(start int64) {
+	o := n.Obs
+	if o == nil {
+		return
+	}
+	o.Inc("sim.exec.instructions")
+	o.Add("sim.exec.cycles", n.Stats.Cycles-start)
+	o.Span(n.ObsID, "sim", "exec", start, n.Stats.Cycles-start, nil)
 }
 
 // finishInstr evaluates the sequencer comparison and interrupt.
@@ -218,8 +239,15 @@ func (n *Node) evaluate(pl *ExecPlan, sc *runScratch, detect bool) (*Trap, error
 					if f, hit := n.takeECC(s.plane, addr); hit {
 						if !f.Double {
 							n.TrapCounters.ECCCorrected++
+							if o := n.Obs; o != nil {
+								o.Inc("sim.ecc.corrected")
+								o.Event(n.ObsID, "sim", "ecc-corrected",
+									n.Stats.Cycles+int64(c), "single-bit",
+									map[string]int64{"plane": int64(s.plane), "addr": addr})
+							}
 						} else {
 							n.TrapCounters.ECCUncorrectable++
+							n.Obs.Inc("sim.trap." + TrapECC.String())
 							tr := &Trap{Kind: TrapECC, Plane: s.plane, Addr: addr,
 								Element: e, Cycle: c, At: n.Stats.Cycles + int64(c)}
 							n.recordTrap(tr)
@@ -227,6 +255,7 @@ func (n *Node) evaluate(pl *ExecPlan, sc *runScratch, detect bool) (*Trap, error
 								return tr, nil
 							}
 							n.TrapCounters.Quieted++
+							n.Obs.Inc("sim.trap.quieted")
 							v = math.NaN()
 						}
 					}
@@ -332,6 +361,7 @@ func (n *Node) evaluate(pl *ExecPlan, sc *runScratch, detect bool) (*Trap, error
 					case arch.TrapQuietNaN:
 						n.recordTrap(tr)
 						n.TrapCounters.Quieted++
+						n.Obs.Inc("sim.trap.quieted")
 					case arch.TrapHalt, arch.TrapRetry:
 						n.recordTrap(tr)
 						return tr, nil

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/microcode"
+	"repro/internal/obs"
 )
 
 const pageWords = 4096
@@ -192,6 +193,14 @@ type Node struct {
 	// pipeline diagram, annotated to show data values flowing through
 	// the pipeline" (§6).
 	Tracer func(src arch.SourceID, cycle int, val float64, valid bool)
+
+	// Obs, when non-nil, receives the node's dispatch/trap/ECC metrics
+	// and events through the unified observability layer. ObsID names
+	// this node's tracer shard (multi-node drivers set it to the ring
+	// rank). Instrumentation only reads simulated state — results and
+	// clocks are bit-identical with Obs armed or nil.
+	Obs   *obs.Obs
+	ObsID int
 }
 
 // NewNode builds a node for the configuration.

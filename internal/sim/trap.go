@@ -196,8 +196,14 @@ func (s TrapStats) String() string {
 const maxTrapRecords = 1024
 
 // recordTrap appends a trap interrupt to the node's IRQ log, counting
-// (instead of storing) records past the cap.
+// (instead of storing) records past the cap. The unified observability
+// layer sees every record regardless of the IRQ cap: its ring keeps
+// the newest spans, complementing the IRQ log's oldest-first prefix.
 func (n *Node) recordTrap(tr *Trap) {
+	if o := n.Obs; o != nil {
+		o.Event(n.ObsID, "sim", "trap", tr.At, tr.Kind.String(),
+			map[string]int64{"element": tr.Element, "cycle": int64(tr.Cycle)})
+	}
 	if n.trapRecords >= maxTrapRecords {
 		n.TrapCounters.Dropped++
 		return
@@ -208,6 +214,7 @@ func (n *Node) recordTrap(tr *Trap) {
 
 // countTrapKind bumps the per-kind counter.
 func (n *Node) countTrapKind(k TrapKind) {
+	n.Obs.Inc("sim.trap." + k.String())
 	switch k {
 	case TrapInvalid:
 		n.TrapCounters.Invalid++

@@ -2,55 +2,49 @@ package trace
 
 import (
 	"fmt"
-	"sort"
 	"strings"
-	"sync"
+
+	"repro/internal/obs"
 )
 
 // PhaseRecorder collects the engine loop's per-phase cycle samples
 // (dispatch, combine, exchange) — the observability hook behind
-// engine.Config.Observe. It is safe to share across solves and
-// goroutines; the engine calls Observe host-side after each barrier,
-// but a recorder may also be read while another solve is running.
+// engine.Config.Observe. It is a thin view over an obs.Registry: each
+// phase is one histogram, so samples are lock-free atomic updates and
+// the recorder is safe to share across solves and goroutines. The
+// engine calls Observe host-side after each barrier, but a recorder
+// may also be read while another solve is running.
 type PhaseRecorder struct {
-	mu sync.Mutex
-	// totals and counts per phase name.
-	cycles map[string]int64
-	counts map[string]int64
+	reg *obs.Registry
 }
 
 // NewPhaseRecorder returns an empty recorder.
 func NewPhaseRecorder() *PhaseRecorder {
-	return &PhaseRecorder{cycles: map[string]int64{}, counts: map[string]int64{}}
+	return &PhaseRecorder{reg: obs.NewRegistry()}
 }
 
 // Observe records one phase sample; pass this method as
 // engine.Config.Observe (or hypercube/multigrid observer options).
 func (pr *PhaseRecorder) Observe(phase string, sweep int, cycles int64) {
-	pr.mu.Lock()
-	pr.cycles[phase] += cycles
-	pr.counts[phase]++
-	pr.mu.Unlock()
+	pr.reg.Histogram(phase).Observe(cycles)
 }
+
+// Registry exposes the backing metrics registry, so callers can export
+// the recorded phases with obs.WriteMetricsJSON or fold them into a
+// wider report.
+func (pr *PhaseRecorder) Registry() *obs.Registry { return pr.reg }
 
 // Phases returns the recorded phase names in sorted order.
-func (pr *PhaseRecorder) Phases() []string {
-	pr.mu.Lock()
-	defer pr.mu.Unlock()
-	out := make([]string, 0, len(pr.counts))
-	for ph := range pr.counts {
-		out = append(out, ph)
-	}
-	sort.Strings(out)
-	return out
-}
+func (pr *PhaseRecorder) Phases() []string { return pr.reg.Names() }
 
 // Totals returns the sample count and summed critical-path cycles for
-// a phase.
+// a phase. Unrecorded phases report zero without being registered.
 func (pr *PhaseRecorder) Totals(phase string) (samples, cycles int64) {
-	pr.mu.Lock()
-	defer pr.mu.Unlock()
-	return pr.counts[phase], pr.cycles[phase]
+	h := pr.reg.LookupHistogram(phase)
+	if h == nil {
+		return 0, 0
+	}
+	return h.Count(), h.Sum()
 }
 
 // Summary renders one line per phase: name, sample count, total cycles

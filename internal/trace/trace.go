@@ -117,6 +117,13 @@ func Capture(node *sim.Node, in *microcode.Instr, doc *diagram.Document, p *diag
 		// up to the trap is exactly what pinpoints the bad operand.
 		var te *sim.TrapError
 		if errors.As(err, &te) {
+			// Mark the partial capture on the node's observability
+			// stream: the trap cause plus how many pad samples landed
+			// before the abort, so a trace viewer shows where the
+			// diagram annotation stops and why.
+			node.Obs.Event(node.ObsID, "trace", "capture-partial",
+				te.Trap.At, te.Trap.Kind.String(),
+				map[string]int64{"element": element, "samples": int64(len(out))})
 			return out, err
 		}
 		return nil, err
