@@ -38,18 +38,35 @@ func record(name string, r testing.BenchmarkResult, metrics map[string]float64) 
 	}
 }
 
-// benchSolve runs the 8-node fault-free Jacobi solve that
-// BenchmarkEngineOverlap times, with either halo schedule; o, when
-// non-nil, arms the observability layer on the machine.
-func benchSolve(cfg arch.Config, serial bool, o *obs.Obs) (*hypercube.JacobiResult, *hypercube.Machine, error) {
+// benchOpts selects the robustness machinery a bench solve arms on top
+// of the fault-free baseline.
+type benchOpts struct {
+	serial     bool
+	o          *obs.Obs
+	faults     *hypercube.FaultPlan
+	spares     int
+	buddyEvery int
+}
+
+// benchSolve runs the 8-node Jacobi solve the performance probes time:
+// fault-free by default, with the halo schedule, observability layer,
+// fault plan, spare pool and buddy-mirror stride chosen by opts.
+func benchSolve(cfg arch.Config, opts benchOpts) (*hypercube.JacobiResult, *hypercube.Machine, error) {
 	m, err := hypercube.New(cfg, 3)
 	if err != nil {
 		return nil, nil, err
 	}
 	m.Workers = runtime.GOMAXPROCS(0)
 	m.StopAfter = 12
-	m.SerialExchange = serial
-	m.Obs = o
+	m.SerialExchange = opts.serial
+	m.Obs = opts.o
+	m.Faults = opts.faults
+	m.BuddyEvery = opts.buddyEvery
+	if opts.spares > 0 {
+		if err := m.AddSpares(opts.spares); err != nil {
+			return nil, nil, err
+		}
+	}
 	g := jacobi.NewModelProblem(8, 1e-4, 400)
 	g.Nz = m.P()*2 + 2
 	g.F = make([]float64, g.Cells())
@@ -81,7 +98,7 @@ func runBenchJSON(stdout io.Writer, cfg arch.Config) error {
 		var cycles, comm int64
 		r := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, m, err := benchSolve(cfg, mode.serial, nil)
+				_, m, err := benchSolve(cfg, benchOpts{serial: mode.serial})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -222,7 +239,7 @@ func runBenchJSON(stdout io.Writer, cfg arch.Config) error {
 				if mode.armed {
 					o = obs.New()
 				}
-				_, m, err := benchSolve(cfg, false, o)
+				_, m, err := benchSolve(cfg, benchOpts{o: o})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -233,6 +250,53 @@ func runBenchJSON(stdout io.Writer, cfg arch.Config) error {
 			"machine_cycles": float64(cycles),
 			"comm_cycles":    float64(comm),
 		}))
+	}
+
+	// Recovery overhead: the degraded-mode machinery priced four ways.
+	// The buddy mirror on a clean run must cost zero simulated cycles
+	// (host-side bookkeeping; wall time is its only price), while a
+	// permanent kill recovered through a spare or a shrinking
+	// re-partition reports the simulated cycles the recovery cost over
+	// the clean baseline.
+	{
+		killPlan := func() *hypercube.FaultPlan {
+			return hypercube.MustFaultPlan(hypercube.FaultEvent{
+				Sweep: 6, Phase: hypercube.PhaseDispatch, Rank: 3,
+				Kind: hypercube.FaultKillForever,
+			})
+		}
+		var cleanCycles int64
+		for _, mode := range []struct {
+			name string
+			opts func() benchOpts
+		}{
+			{"recovery-overhead/clean", func() benchOpts { return benchOpts{} }},
+			{"recovery-overhead/buddy-clean", func() benchOpts { return benchOpts{buddyEvery: 1} }},
+			{"recovery-overhead/kill-spare", func() benchOpts { return benchOpts{faults: killPlan(), spares: 1} }},
+			{"recovery-overhead/kill-shrink", func() benchOpts { return benchOpts{faults: killPlan()} }},
+		} {
+			var cycles, comm int64
+			var rec hypercube.RecoveryStats
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, m, err := benchSolve(cfg, mode.opts())
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles, comm, rec = m.MachineCycles, m.CommCycles, res.Recovery
+				}
+			})
+			if mode.name == "recovery-overhead/clean" {
+				cleanCycles = cycles
+			}
+			out = append(out, record(mode.name, r, map[string]float64{
+				"machine_cycles": float64(cycles),
+				"comm_cycles":    float64(comm),
+				"cycles_lost":    float64(cycles - cleanCycles),
+				"recoveries":     float64(rec.Recoveries),
+				"resweeps":       float64(rec.ResweptSweeps),
+			}))
+		}
 	}
 
 	enc := json.NewEncoder(stdout)

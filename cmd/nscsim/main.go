@@ -28,6 +28,14 @@
 // -checkpoint persists the latest snapshot to a file, and -restore
 // resumes a solve from one.
 //
+// -kill "sweep:rank[,...]" is shorthand for permanent node deaths
+// (dispatch:kill-forever events; it composes with -faults): the run
+// then arms buddy mirroring and degraded-mode recovery, refilling each
+// dead slot from the -spares pool or re-partitioning the solve over
+// the survivors, and the report gains a "recovery:" line. The solve
+// outcome is bit-identical to the fault-free run either way — only the
+// clocks grow.
+//
 // The exception subsystem is armed with -trap-policy (halt, retry or
 // quiet), -watchdog (a sequencer cycle budget per instruction) and
 // -ecc-faults, which seeds memory-plane ECC events on the -jacobi
@@ -93,6 +101,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cubeDim := fs.Int("cube", 0, "hypercube dimension for -jacobi (2^d nodes)")
 	sweeps := fs.Int("sweeps", 0, "fixed sweep count for -jacobi (0 = run to convergence)")
 	faults := fs.String("faults", "", "fault plan for -jacobi (event list or seed@... form)")
+	kill := fs.String("kill", "", "permanently kill ranks during -jacobi: sweep:rank[,...]")
+	spares := fs.Int("spares", 0, "hot-spare nodes available to replace permanently dead ranks")
 	ckEvery := fs.Int("checkpoint-every", 0, "snapshot the -jacobi solve every n sweeps")
 	ckPath := fs.String("checkpoint", "", "persist the latest -jacobi snapshot to this file")
 	restore := fs.String("restore", "", "resume the -jacobi solve from this snapshot file")
@@ -149,7 +159,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *jacobiN > 0 {
-		err := runJacobi(stdout, cfg, *jacobiN, *cubeDim, *sweeps, *faults, *ckEvery, *ckPath, *restore, trap, *eccFaults, o)
+		err := runJacobi(stdout, cfg, *jacobiN, *cubeDim, *sweeps, *faults, *kill, *spares, *ckEvery, *ckPath, *restore, trap, *eccFaults, o)
 		if err == nil {
 			err = o.WriteFiles(stdout, *metricsJSON, *traceOut)
 		}
@@ -284,7 +294,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // runJacobi drives the multi-node solver with the robustness knobs.
 func runJacobi(stdout io.Writer, cfg arch.Config, n, dim, sweeps int,
-	faultSpec string, ckEvery int, ckPath, restore string,
+	faultSpec, killSpec string, spares, ckEvery int, ckPath, restore string,
 	trap arch.TrapConfig, eccSpec string, o *obs.Obs) error {
 	m, err := hypercube.New(cfg, dim)
 	if err != nil {
@@ -295,6 +305,11 @@ func runJacobi(stdout io.Writer, cfg arch.Config, n, dim, sweeps int,
 	m.StopAfter = sweeps
 	m.CheckpointEvery = ckEvery
 	m.Trap = trap
+	if spares > 0 {
+		if err := m.AddSpares(spares); err != nil {
+			return err
+		}
+	}
 	if eccSpec != "" {
 		faults, err := hypercube.ParseRankECCFaults(eccSpec)
 		if err != nil {
@@ -306,10 +321,34 @@ func runJacobi(stdout io.Writer, cfg arch.Config, n, dim, sweeps int,
 			}
 		}
 	}
-	if faultSpec != "" {
+	if faultSpec != "" || killSpec != "" {
 		plan, err := hypercube.ParseFaultPlan(faultSpec)
 		if err != nil {
 			return err
+		}
+		if killSpec != "" {
+			events := plan.Events
+			for _, tok := range strings.Split(killSpec, ",") {
+				sw, rk, ok := strings.Cut(strings.TrimSpace(tok), ":")
+				if !ok {
+					return fmt.Errorf("nscsim: -kill %q: want sweep:rank[,...]", tok)
+				}
+				sweep, err := strconv.Atoi(sw)
+				if err != nil {
+					return fmt.Errorf("nscsim: -kill %q: sweep %q is not an integer", tok, sw)
+				}
+				rank, err := strconv.Atoi(rk)
+				if err != nil {
+					return fmt.Errorf("nscsim: -kill %q: rank %q is not an integer", tok, rk)
+				}
+				events = append(events, hypercube.FaultEvent{
+					Sweep: sweep, Phase: hypercube.PhaseDispatch, Rank: rank,
+					Kind: hypercube.FaultKillForever,
+				})
+			}
+			if plan, err = hypercube.NewFaultPlan(events...); err != nil {
+				return err
+			}
 		}
 		m.Faults = plan
 	}
@@ -360,6 +399,13 @@ func runJacobi(stdout io.Writer, cfg arch.Config, n, dim, sweeps int,
 		res.PlanCache.Entries, res.PlanCache.Hits, res.PlanCache.Misses)
 	fmt.Fprintf(stdout, "faults: %s\n", res.Faults)
 	fmt.Fprintf(stdout, "traps: %s\n", res.Traps)
+	// The recovery line appears only when the degraded-mode machinery is
+	// armed, so fault-free reports stay byte-identical to before.
+	if m.Faults.HasPermanent() || res.Recovery != (hypercube.RecoveryStats{}) {
+		lv := m.Liveness()
+		fmt.Fprintf(stdout, "recovery: %s; %d node(s) live, %d spare(s) used, %d free\n",
+			res.Recovery, lv.Live, lv.SparesUsed, lv.SparesFree)
+	}
 	return nil
 }
 

@@ -294,6 +294,28 @@ func TestBenchJSONGolden(t *testing.T) {
 		off["comm_cycles"] != on["comm_cycles"] {
 		t.Errorf("obs layer changed the simulated clocks: disabled=%v enabled=%v", off, on)
 	}
+
+	// Recovery overhead: buddy mirroring on a clean run must not move a
+	// single simulated cycle, and each kill record must report exactly
+	// one recovery whose simulated price is positive.
+	clean, buddy := byName["recovery-overhead/clean"], byName["recovery-overhead/buddy-clean"]
+	if clean == nil || buddy == nil {
+		t.Fatal("recovery-overhead records missing")
+	}
+	if clean["machine_cycles"] == 0 ||
+		clean["machine_cycles"] != buddy["machine_cycles"] ||
+		clean["comm_cycles"] != buddy["comm_cycles"] {
+		t.Errorf("buddy mirror changed the simulated clocks: clean=%v buddy=%v", clean, buddy)
+	}
+	for _, name := range []string{"recovery-overhead/kill-spare", "recovery-overhead/kill-shrink"} {
+		m := byName[name]
+		if m == nil {
+			t.Fatalf("%s record missing", name)
+		}
+		if m["recoveries"] != 1 || m["cycles_lost"] <= 0 {
+			t.Errorf("%s: recoveries=%v cycles_lost=%v, want 1 recovery at a positive price", name, m["recoveries"], m["cycles_lost"])
+		}
+	}
 }
 
 func TestTrapFlagErrors(t *testing.T) {
@@ -306,6 +328,48 @@ func TestTrapFlagErrors(t *testing.T) {
 	} {
 		if _, _, code := runCLI(t, args...); code == 0 {
 			t.Errorf("args %v: exit 0, want failure", args)
+		}
+	}
+}
+
+// TestJacobiKillRecoveryCLI: -kill permanently loses a rank mid-solve.
+// With -spares the dead slot is refilled from the pool; without, the
+// solve re-partitions over the survivors. Either way the solve line is
+// bit-identical to the clean run and the report says what happened.
+func TestJacobiKillRecoveryCLI(t *testing.T) {
+	clean, _, _ := runCLI(t, "-jacobi", "8", "-cube", "2", "-sweeps", "8")
+	if strings.Contains(clean, "recovery:") {
+		t.Error("clean report grew a recovery line")
+	}
+
+	spare, stderr, code := runCLI(t,
+		"-jacobi", "8", "-cube", "2", "-sweeps", "8", "-kill", "3:1", "-spares", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	checkGolden(t, "kill-spare", spare)
+	if jacobiLine(spare) != jacobiLine(clean) {
+		t.Errorf("spare-recovered solve diverged:\n%s\n%s", jacobiLine(spare), jacobiLine(clean))
+	}
+	if !strings.Contains(spare, "spares=1") || !strings.Contains(spare, "4 node(s) live") {
+		t.Errorf("spare recovery line:\n%s", spare)
+	}
+
+	shrink, stderr, code := runCLI(t,
+		"-jacobi", "8", "-cube", "2", "-sweeps", "8", "-kill", "3:1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if jacobiLine(shrink) != jacobiLine(clean) {
+		t.Errorf("shrink-recovered solve diverged:\n%s\n%s", jacobiLine(shrink), jacobiLine(clean))
+	}
+	if !strings.Contains(shrink, "shrinks=1") || !strings.Contains(shrink, "3 node(s) live") {
+		t.Errorf("shrink recovery line:\n%s", shrink)
+	}
+
+	for _, bad := range []string{"3", "x:1", "3:x"} {
+		if _, _, code := runCLI(t, "-jacobi", "8", "-cube", "2", "-kill", bad); code == 0 {
+			t.Errorf("-kill %q: exit 0, want failure", bad)
 		}
 	}
 }

@@ -102,3 +102,45 @@ func TestDifferentialRecovery(t *testing.T) {
 		t.Errorf("faulted run not slower: %d vs clean %d", b.MachineCycles, a.MachineCycles)
 	}
 }
+
+// TestDifferentialDegraded pins the degraded-mode contract against the
+// clean baseline: after a permanent node loss — absorbed by a hot spare
+// or by a shrinking re-partition — the residual series still matches
+// the clean run bit for bit, and the recovery's simulated price shows
+// up as strictly slower clocks.
+func TestDifferentialDegraded(t *testing.T) {
+	scs := difftest.Scenarios()
+	byName := make(map[string]*difftest.Scenario, len(scs))
+	for i := range scs {
+		byName[scs[i].Name] = &scs[i]
+	}
+	clean := byName["jacobi/clean"]
+	if clean == nil {
+		t.Fatal("battery is missing the clean scenario")
+	}
+	a, err := clean.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"jacobi/degraded-spare", "jacobi/degraded-shrink"} {
+		sc := byName[name]
+		if sc == nil {
+			t.Fatalf("battery is missing the %s scenario", name)
+		}
+		b, err := sc.Run(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Series) != len(b.Series) {
+			t.Fatalf("%s: series length %d vs clean %d", name, len(b.Series), len(a.Series))
+		}
+		for i := range a.Series {
+			if a.Series[i] != b.Series[i] {
+				t.Errorf("%s residual[%d]: clean %.17g degraded %.17g", name, i, a.Series[i], b.Series[i])
+			}
+		}
+		if b.MachineCycles <= a.MachineCycles {
+			t.Errorf("%s: degraded run not slower: %d vs clean %d", name, b.MachineCycles, a.MachineCycles)
+		}
+	}
+}

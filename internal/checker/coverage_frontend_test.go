@@ -20,6 +20,7 @@ import (
 	"repro/internal/diag"
 	"repro/internal/diagram"
 	"repro/internal/editor"
+	"repro/internal/engine"
 	"repro/internal/pipeline"
 )
 
@@ -165,6 +166,10 @@ dma Mv wr var=v stride=1 count=64
 	},
 	diag.RuleDocIO: func(t *testing.T) error { // R039
 		_, err := diagram.Load(strings.NewReader("{not json"))
+		return err
+	},
+	diag.RuleFaultPlan: func(t *testing.T) error { // R040
+		_, err := engine.ParseFaultPlan("teleport:kill@1:0")
 		return err
 	},
 }

@@ -44,4 +44,8 @@ const (
 	RuleProgram = "R038"
 	// RuleDocIO marks a semantic document that failed to decode.
 	RuleDocIO = "R039"
+	// RuleFaultPlan marks a malformed -faults/-kill fault-plan spec:
+	// an unparseable token, a bad phase/kind/option, or duplicate
+	// events targeting the same (sweep, phase, rank).
+	RuleFaultPlan = "R040"
 )

@@ -29,6 +29,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/arch"
@@ -138,6 +139,21 @@ type Config struct {
 	// snapshot exists and the budget error surfaces instead.
 	Take     func(sweep int, series []float64, live FaultStats) error
 	Rollback func() (sweep int, series []float64, ok bool, err error)
+
+	// BuddyEvery, when positive, invokes Buddy at every sweep boundary
+	// divisible by it — the client's in-memory buddy-checkpoint mirror.
+	// Mirrors are host-side and free in simulated time, exactly like
+	// Take snapshots, so arming them never moves the clocks.
+	BuddyEvery int
+	Buddy      func(sweep int, series []float64) error
+
+	// Recover, when non-nil, handles permanent node loss: Run hands it
+	// the DeadRankError from a dispatch barrier and resumes the loop on
+	// the configuration it returns (a spare wired into the dead slot, or
+	// a shrunken re-partition over the survivors, with the client's
+	// state restored from buddy mirrors or a checkpoint). Nil keeps the
+	// pre-recovery behaviour: a dead rank surfaces as an error.
+	Recover func(*DeadRankError) (*Config, *RecoveryInfo, error)
 }
 
 // Loop is the phase-structured sweep loop: Dispatch runs one
@@ -152,6 +168,7 @@ type Loop struct {
 	fst    FaultStats   // live counters, merged in rank order
 	deltas []FaultStats // per-rank counter deltas (fault path only)
 	budget []*BudgetError
+	dead   []bool  // per-rank permanent-death slate (fault path only)
 	sweep  []int64 // per-rank dispatch cycles
 	pairs  [2][]int
 	cost   []int64 // per-pair exchange cost
@@ -190,6 +207,7 @@ func NewLoop(cfg *Config) (*Loop, error) {
 	if cfg.Faults != nil {
 		lp.deltas = make([]FaultStats, p)
 		lp.budget = make([]*BudgetError, p)
+		lp.dead = make([]bool, p)
 	} else if !cfg.SerialExchange && p > 1 {
 		lp.halo = make([][]float64, 2*p)
 		for i := range lp.halo {
@@ -280,6 +298,16 @@ func (lp *Loop) Dispatch(sweepNo int, instr func(rank int) *microcode.Instr, gat
 					extra += ev.Stall
 					break
 				}
+				if ev.Kind == FaultKillForever {
+					// Permanent death: no retry can help. Mark the rank on
+					// the dead slate (resolved after the barrier, so the
+					// surviving ranks' execution stays deterministic) and
+					// charge only the work done before the board died.
+					fs.Kills++
+					lp.dead[r] = true
+					lp.sweep[r] = extra
+					return nil
+				}
 				fs.Kills++
 				if attempt+1 >= lp.retry.MaxAttempts {
 					fs.Exhausted++
@@ -316,6 +344,16 @@ func (lp *Loop) Dispatch(sweepNo int, instr func(rank int) *microcode.Instr, gat
 	// aborts the iteration: the lost work still ran.
 	f.AddMachineCycles(maxNode)
 	lp.observe("dispatch", sweepNo, maxNode)
+	if ranks := lp.deadSet(); ranks != nil {
+		if o := cfg.Obs; o != nil {
+			for _, r := range ranks {
+				o.Inc("engine.recovery.dead_ranks")
+				o.Event(0, "engine", "dead-rank", lp.simTS, "kill-forever",
+					map[string]int64{"sweep": int64(sweepNo), "rank": int64(r)})
+			}
+		}
+		return lp.firstBudget(), &DeadRankError{Sweep: sweepNo, Ranks: ranks}
+	}
 	return lp.firstBudget(), nil
 }
 
@@ -577,6 +615,10 @@ type RunResult struct {
 	// Faults holds the run's live counters (a restored base, if any, is
 	// the client's to add).
 	Faults FaultStats
+	// Recovery counts degraded-mode recoveries (permanent node loss
+	// survived via spares or shrinking re-partition); all-zero unless a
+	// kill-forever fault fired and a Recover hook handled it.
+	Recovery RecoveryStats
 }
 
 // Run drives the standard sweep → combine → exchange loop to
@@ -586,11 +628,90 @@ type RunResult struct {
 // through cfg.Rollback (when a snapshot exists and MaxRestores
 // allows); simulated time is not rolled back — the lost work cost real
 // cycles.
+//
+// Permanent node loss (FaultKillForever) surfaces as a DeadRankError
+// unless cfg.Recover is set, in which case Run re-enters the loop on
+// the recovered configuration — same observability timeline, fault
+// counters accumulated across generations — and resumes from the sweep
+// boundary the hook restored. Each recovery round consumes at least
+// one fired plan event, so the rounds are bounded by the plan length.
 func Run(cfg *Config) (*RunResult, error) {
+	var acc FaultStats
+	var rec RecoveryStats
+	var ts int64
+	maxRecoveries := 0
+	if cfg.Faults != nil {
+		maxRecoveries = len(cfg.Faults.Events)
+	}
+	for {
+		res, tsEnd, err := runOnce(cfg, ts, acc)
+		if res != nil {
+			merged := acc
+			merged.Add(res.Faults)
+			res.Faults = merged
+			res.Recovery = rec
+		}
+		var dre *DeadRankError
+		if err == nil || cfg.Recover == nil || !errors.As(err, &dre) {
+			return res, err
+		}
+		if int(rec.Recoveries) >= maxRecoveries {
+			// Backstop: a Recover hook that makes no progress cannot spin
+			// the loop past one round per plan event.
+			return res, err
+		}
+		acc = res.Faults
+		ts = tsEnd
+		next, info, rerr := cfg.Recover(dre)
+		if rerr != nil {
+			return nil, fmt.Errorf("engine: recovering from %v: %w", dre, rerr)
+		}
+		rec.Recoveries++
+		rec.DeadRanks += int64(len(dre.Ranks))
+		rec.SpareActivations += int64(info.Spared)
+		rec.Shrinks += int64(info.Shrunk)
+		switch info.Source {
+		case "buddy":
+			rec.BuddyRestores++
+		case "checkpoint":
+			rec.CheckpointRestores++
+		}
+		resweep := int64(dre.Sweep - info.ResumeSweep)
+		if resweep > 0 {
+			rec.ResweptSweeps += resweep
+		}
+		if o := cfg.Obs; o != nil {
+			o.Inc("engine.recovery.recoveries")
+			if info.Spared > 0 {
+				o.Add("engine.recovery.spare", int64(info.Spared))
+			}
+			if info.Shrunk > 0 {
+				o.Add("engine.recovery.shrink", int64(info.Shrunk))
+			}
+			o.Inc("engine.recovery.source." + info.Source)
+			o.Observe("engine.recovery.resweeps", resweep)
+			o.Event(0, "engine", "recovery", ts, info.Mode, map[string]int64{
+				"resume_sweep": int64(info.ResumeSweep),
+				"spared":       int64(info.Spared),
+				"shrunk":       int64(info.Shrunk),
+			})
+		}
+		cfg = next
+	}
+}
+
+// runOnce drives one loop generation: from cfg.StartSweep until
+// convergence, a terminal error, or a dead rank. ts0 seeds the
+// observability timeline (continuous across recovery generations);
+// base is the fault-counter accumulation of prior generations, merged
+// into the live counters handed to Take so persisted checkpoints carry
+// full totals.
+func runOnce(cfg *Config, ts0 int64, base FaultStats) (*RunResult, int64, error) {
 	lp, err := NewLoop(cfg)
 	if err != nil {
-		return nil, err
+		return nil, ts0, err
 	}
+	lp.simTS = ts0
 	res := &RunResult{
 		Sweeps: cfg.StartSweep,
 		Series: append([]float64(nil), cfg.StartSeries...),
@@ -620,22 +741,39 @@ func Run(cfg *Config) (*RunResult, error) {
 		// Sweep-boundary snapshot.
 		if cfg.CheckpointEvery > 0 && cfg.Take != nil && it%cfg.CheckpointEvery == 0 && it != skipAt {
 			lp.fst.Checkpoints++
-			if err := cfg.Take(it, res.Series, lp.fst); err != nil {
-				return nil, err
+			live := base
+			live.Add(lp.fst)
+			if err := cfg.Take(it, res.Series, live); err != nil {
+				return nil, lp.simTS, err
 			}
 			// Snapshots are host-side and free in simulated time; the
 			// zero-cycle phase still marks the boundary on the timeline.
 			lp.observe("checkpoint", it, 0)
 		}
+		// Buddy mirror: host-side like Take, so it is free in simulated
+		// time; the zero-cycle phase marks the boundary on the timeline.
+		if cfg.BuddyEvery > 0 && cfg.Buddy != nil && it%cfg.BuddyEvery == 0 {
+			if err := cfg.Buddy(it, res.Series); err != nil {
+				return nil, lp.simTS, err
+			}
+			lp.observe("buddy", it, 0)
+		}
 
 		be, err := lp.Dispatch(it, func(r int) *microcode.Instr { return cfg.Instr(it, r) }, cfg.PlaneOf(it))
 		if err != nil {
-			return nil, err
+			var dre *DeadRankError
+			if errors.As(err, &dre) {
+				// Partial result for the recovery protocol: counters so
+				// far, timeline so far.
+				res.Faults = lp.fst
+				return res, lp.simTS, err
+			}
+			return nil, lp.simTS, err
 		}
 		if be != nil {
 			at, err := rollback(be)
 			if err != nil {
-				return nil, err
+				return nil, lp.simTS, err
 			}
 			it = at - 1
 			continue
@@ -646,7 +784,7 @@ func Run(cfg *Config) (*RunResult, error) {
 		if mergeBE != nil {
 			at, err := rollback(mergeBE)
 			if err != nil {
-				return nil, err
+				return nil, lp.simTS, err
 			}
 			it = at - 1
 			continue
@@ -665,17 +803,17 @@ func Run(cfg *Config) (*RunResult, error) {
 
 		ebe, err := lp.Exchange(it, cfg.PlaneOf(it))
 		if err != nil {
-			return nil, err
+			return nil, lp.simTS, err
 		}
 		if ebe != nil {
 			at, err := rollback(ebe)
 			if err != nil {
-				return nil, err
+				return nil, lp.simTS, err
 			}
 			it = at - 1
 			continue
 		}
 	}
 	res.Faults = lp.fst
-	return res, nil
+	return res, lp.simTS, nil
 }

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"strconv"
 	"strings"
+
+	"repro/internal/diag"
 )
 
 // This file is the fault-injection half of the engine's robustness
@@ -33,6 +35,13 @@ const (
 	// FaultStall delays the operation by Stall simulated cycles; the
 	// operation still completes, so no retry is needed.
 	FaultStall
+	// FaultKillForever is a permanent node death: the rank never
+	// dispatches again, so no retry can help. The loop reports the dead
+	// rank through a DeadRankError and the client recovers by activating
+	// a hot spare or re-partitioning over the survivors (see
+	// recovery.go). Only meaningful on the dispatch phase — a node dies,
+	// not a message.
+	FaultKillForever
 )
 
 func (k FaultKind) String() string {
@@ -43,6 +52,8 @@ func (k FaultKind) String() string {
 		return "corrupt"
 	case FaultStall:
 		return "stall"
+	case FaultKillForever:
+		return "kill-forever"
 	}
 	return fmt.Sprintf("FaultKind(%d)", int(k))
 }
@@ -132,6 +143,12 @@ func NewFaultPlan(events ...FaultEvent) (*FaultPlan, error) {
 			if ev.Stall <= 0 {
 				return nil, fmt.Errorf("engine: fault %s: stall faults need stall cycles > 0", ev)
 			}
+		case FaultKillForever:
+			if ev.Phase != PhaseDispatch {
+				return nil, fmt.Errorf("engine: fault %s: kill-forever is a node death and strikes the dispatch phase only", ev)
+			}
+			// A dead node cannot die twice; one firing is the whole event.
+			ev.Repeat = 1
 		default:
 			return nil, fmt.Errorf("engine: fault event %d: unknown kind %d", i, int(ev.Kind))
 		}
@@ -172,6 +189,61 @@ func RandomFaultPlan(seed int64, sweeps, ranks, n int) *FaultPlan {
 		} else {
 			ev.Phase = PhaseDispatch
 			ev.Rank = rng.Intn(ranks)
+		}
+		events = append(events, ev)
+	}
+	return MustFaultPlan(events...)
+}
+
+// HasPermanent reports whether the plan contains any kill-forever
+// event — the signal for clients to arm buddy checkpointing before the
+// solve starts. Nil-safe.
+func (p *FaultPlan) HasPermanent() bool {
+	if p == nil {
+		return false
+	}
+	for _, ev := range p.Events {
+		if ev.Kind == FaultKillForever {
+			return true
+		}
+	}
+	return false
+}
+
+// RandomChaosPlan derives a mixed plan from its own seeded generator:
+// transient kills, link corruptions and stalls across all phases, the
+// chaos-smoke battery's input. Permanent kills are not included — a
+// chaos test appends its own, so the recovery path under test is
+// explicit. The same seed always yields the same plan.
+func RandomChaosPlan(seed int64, sweeps, ranks, n int) *FaultPlan {
+	rng := rand.New(rand.NewSource(seed))
+	events := make([]FaultEvent, 0, n)
+	for i := 0; i < n; i++ {
+		ev := FaultEvent{Sweep: rng.Intn(sweeps), Repeat: 1 + rng.Intn(2)}
+		switch rng.Intn(3) {
+		case 0: // transient dispatch kill
+			ev.Kind = FaultKill
+			ev.Phase = PhaseDispatch
+			ev.Rank = rng.Intn(ranks)
+		case 1: // link corruption (exchange when possible, else merge)
+			ev.Kind = FaultCorrupt
+			if ranks > 1 && rng.Intn(2) == 0 {
+				ev.Phase = PhaseExchange
+				ev.Rank = rng.Intn(ranks - 1)
+			} else {
+				ev.Phase = PhaseMerge
+				ev.Rank = 0
+			}
+		default: // stall on any phase
+			ev.Kind = FaultStall
+			ev.Stall = int64(100 + rng.Intn(900))
+			if ranks > 1 && rng.Intn(2) == 0 {
+				ev.Phase = PhaseExchange
+				ev.Rank = rng.Intn(ranks - 1)
+			} else {
+				ev.Phase = PhaseDispatch
+				ev.Rank = rng.Intn(ranks)
+			}
 		}
 		events = append(events, ev)
 	}
@@ -220,17 +292,36 @@ func (p *FaultPlan) SetFired(counts []int64) {
 	}
 }
 
+// faultEventGrammar is the event grammar quoted by every parse
+// diagnostic, so a bad spec's error always shows what was expected
+// next to the offending token.
+const faultEventGrammar = "phase:kind@sweep:rank[:repeat=N][:stall=C] " +
+	"(phase ∈ dispatch|exchange|merge, kind ∈ kill|kill-forever|corrupt|stall)"
+
+// planErrf builds the typed diagnostic every fault-plan parse error
+// carries (rule R040): the offending token plus the expected grammar.
+func planErrf(format string, args ...any) *diag.DiagError {
+	return diag.Errorf(diag.RuleFaultPlan, "fault plan: "+format, args...)
+}
+
 // ParseFaultPlan parses the nscsim -faults syntax: a comma-separated
 // event list, each event
 //
 //	phase:kind@sweep:rank[:repeat=N][:stall=C]
 //
-// with phase ∈ {dispatch, exchange, merge} and kind ∈ {kill, corrupt,
-// stall}; or the seeded form
+// with phase ∈ {dispatch, exchange, merge} and kind ∈ {kill,
+// kill-forever, corrupt, stall}; or the seeded form
 //
 //	seed@S:sweeps=N:ranks=P:events=K
 //
 // which expands through RandomFaultPlan(S, N, P, K).
+//
+// Errors are typed diagnostics (diag.RuleFaultPlan) naming the
+// offending token and the expected grammar. Two events aiming at the
+// same (sweep, phase, rank) are rejected — the second could never fire
+// independently of the first, so a duplicate is always a spec mistake.
+// Seeded plans bypass the duplicate check: they are generated, not
+// hand-written.
 func ParseFaultPlan(spec string) (*FaultPlan, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -239,52 +330,69 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) {
 	if rest, ok := strings.CutPrefix(spec, "seed@"); ok {
 		parts := strings.Split(rest, ":")
 		if len(parts) != 4 {
-			return nil, fmt.Errorf("engine: fault spec %q: want seed@S:sweeps=N:ranks=P:events=K", spec)
+			return nil, planErrf("spec %q: want seed@S:sweeps=N:ranks=P:events=K", spec)
 		}
 		seed, err := strconv.ParseInt(parts[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("engine: fault seed %q: %w", parts[0], err)
+			return nil, planErrf("seed %q is not an integer: want seed@S:sweeps=N:ranks=P:events=K", parts[0])
 		}
 		kv := map[string]int{}
 		for _, part := range parts[1:] {
 			k, v, ok := strings.Cut(part, "=")
 			if !ok {
-				return nil, fmt.Errorf("engine: fault spec field %q: want key=value", part)
+				return nil, planErrf("field %q: want key=value in seed@S:sweeps=N:ranks=P:events=K", part)
 			}
 			n, err := strconv.Atoi(v)
 			if err != nil || n < 1 {
-				return nil, fmt.Errorf("engine: fault spec field %q: want a positive integer", part)
+				return nil, planErrf("field %q: want a positive integer", part)
 			}
 			kv[k] = n
 		}
 		for _, k := range []string{"sweeps", "ranks", "events"} {
 			if kv[k] == 0 {
-				return nil, fmt.Errorf("engine: fault spec %q: missing %s=", spec, k)
+				return nil, planErrf("spec %q: missing %s= (want seed@S:sweeps=N:ranks=P:events=K)", spec, k)
 			}
 		}
 		return RandomFaultPlan(seed, kv["sweeps"], kv["ranks"], kv["events"]), nil
 	}
 
+	type point struct {
+		sweep int
+		ph    Phase
+		rank  int
+	}
+	seen := map[point]string{}
 	var events []FaultEvent
 	for _, tok := range strings.Split(spec, ",") {
-		ev, err := parseFaultEvent(strings.TrimSpace(tok))
+		tok = strings.TrimSpace(tok)
+		ev, err := parseFaultEvent(tok)
 		if err != nil {
 			return nil, err
 		}
+		pt := point{ev.Sweep, ev.Phase, ev.Rank}
+		if prev, dup := seen[pt]; dup {
+			return nil, planErrf("event %q duplicates %q: two events target sweep %d %s rank %d (use repeat=N for multi-firing faults)",
+				tok, prev, ev.Sweep, ev.Phase, ev.Rank)
+		}
+		seen[pt] = tok
 		events = append(events, ev)
 	}
-	return NewFaultPlan(events...)
+	plan, err := NewFaultPlan(events...)
+	if err != nil {
+		return nil, planErrf("%v", err)
+	}
+	return plan, nil
 }
 
 func parseFaultEvent(tok string) (FaultEvent, error) {
 	var ev FaultEvent
 	head, at, ok := strings.Cut(tok, "@")
 	if !ok {
-		return ev, fmt.Errorf("engine: fault event %q: want phase:kind@sweep:rank", tok)
+		return ev, planErrf("event %q has no @sweep:rank part: want %s", tok, faultEventGrammar)
 	}
 	phase, kind, ok := strings.Cut(head, ":")
 	if !ok {
-		return ev, fmt.Errorf("engine: fault event %q: want phase:kind before @", tok)
+		return ev, planErrf("event %q: missing phase:kind before @: want %s", tok, faultEventGrammar)
 	}
 	switch phase {
 	case "dispatch":
@@ -294,38 +402,40 @@ func parseFaultEvent(tok string) (FaultEvent, error) {
 	case "merge":
 		ev.Phase = PhaseMerge
 	default:
-		return ev, fmt.Errorf("engine: fault phase %q: want dispatch, exchange or merge", phase)
+		return ev, planErrf("phase %q in event %q: want dispatch, exchange or merge", phase, tok)
 	}
 	switch kind {
 	case "kill":
 		ev.Kind = FaultKill
+	case "kill-forever":
+		ev.Kind = FaultKillForever
 	case "corrupt":
 		ev.Kind = FaultCorrupt
 	case "stall":
 		ev.Kind = FaultStall
 		ev.Stall = 1 // overridable via :stall=
 	default:
-		return ev, fmt.Errorf("engine: fault kind %q: want kill, corrupt or stall", kind)
+		return ev, planErrf("kind %q in event %q: want kill, kill-forever, corrupt or stall", kind, tok)
 	}
 	parts := strings.Split(at, ":")
 	if len(parts) < 2 {
-		return ev, fmt.Errorf("engine: fault event %q: want @sweep:rank", tok)
+		return ev, planErrf("event %q: want @sweep:rank after the kind: %s", tok, faultEventGrammar)
 	}
 	var err error
 	if ev.Sweep, err = strconv.Atoi(parts[0]); err != nil {
-		return ev, fmt.Errorf("engine: fault sweep %q: %w", parts[0], err)
+		return ev, planErrf("sweep %q in event %q is not an integer: want %s", parts[0], tok, faultEventGrammar)
 	}
 	if ev.Rank, err = strconv.Atoi(parts[1]); err != nil {
-		return ev, fmt.Errorf("engine: fault rank %q: %w", parts[1], err)
+		return ev, planErrf("rank %q in event %q is not an integer: want %s", parts[1], tok, faultEventGrammar)
 	}
 	for _, part := range parts[2:] {
 		k, v, ok := strings.Cut(part, "=")
 		if !ok {
-			return ev, fmt.Errorf("engine: fault option %q: want key=value", part)
+			return ev, planErrf("option %q in event %q: want repeat=N or stall=C", part, tok)
 		}
 		n, err := strconv.ParseInt(v, 10, 64)
 		if err != nil {
-			return ev, fmt.Errorf("engine: fault option %q: %w", part, err)
+			return ev, planErrf("option %q in event %q is not an integer: want repeat=N or stall=C", part, tok)
 		}
 		switch k {
 		case "repeat":
@@ -333,7 +443,7 @@ func parseFaultEvent(tok string) (FaultEvent, error) {
 		case "stall":
 			ev.Stall = n
 		default:
-			return ev, fmt.Errorf("engine: fault option %q: want repeat= or stall=", part)
+			return ev, planErrf("option %q in event %q: want repeat= or stall=", part, tok)
 		}
 	}
 	return ev, nil

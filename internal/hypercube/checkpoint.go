@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/engine"
 	"repro/internal/sim"
 )
 
@@ -30,8 +31,15 @@ import (
 
 // checkpointMagic identifies the on-disk snapshot format: version 2 of
 // the NSCCKPT family, which added the per-section checksums and the
-// trap counters.
-const checkpointMagic = "NSCCKPT2"
+// trap counters. Version 3 (checkpointMagicV3) extends it with a
+// per-rank plane-count section for uneven decompositions — the shape a
+// shrinking re-partition leaves behind. Uniform snapshots always write
+// version 2, byte-identical to before, so every pre-existing file and
+// reader keeps working.
+const (
+	checkpointMagic   = "NSCCKPT2"
+	checkpointMagicV3 = "NSCCKPT3"
+)
 
 // Checkpoint is one sweep-boundary snapshot of a multi-node solve.
 type Checkpoint struct {
@@ -39,6 +47,10 @@ type Checkpoint struct {
 	Sweep int
 	// Shape guard: node count, global N/Nz, planes per node.
 	P, N, Nz, Slab int
+	// Planes, when non-nil, is the per-rank interior plane count of an
+	// uneven decomposition (Slab is 0 then). Nil means every rank owns
+	// Slab planes — the uniform shape, serialized as version 2.
+	Planes []int
 	// Residuals is the combined residual history up to Sweep.
 	Residuals []float64
 	// MachineCycles/CommCycles are the machine clocks at the boundary;
@@ -57,25 +69,73 @@ type Checkpoint struct {
 	U, V [][]float64
 }
 
-// planeWords returns the per-node iterate size.
-func (ck *Checkpoint) planeWords() int { return (ck.Slab + 2) * ck.N * ck.N }
+// planesOf returns rank r's interior plane count.
+func (ck *Checkpoint) planesOf(r int) int {
+	if ck.Planes != nil {
+		return ck.Planes[r]
+	}
+	return ck.Slab
+}
+
+// maxPlanes returns the largest per-rank plane count (section sizing).
+func (ck *Checkpoint) maxPlanes() int {
+	if ck.Planes == nil {
+		return ck.Slab
+	}
+	worst := 0
+	for _, pl := range ck.Planes {
+		if pl > worst {
+			worst = pl
+		}
+	}
+	return worst
+}
+
+// planeWords returns the per-node iterate size of rank r.
+func (ck *Checkpoint) planeWords(r int) int { return (ck.planesOf(r) + 2) * ck.N * ck.N }
+
+// maxPlaneWords returns the largest per-rank iterate size.
+func (ck *Checkpoint) maxPlaneWords() int { return (ck.maxPlanes() + 2) * ck.N * ck.N }
 
 // compatible checks a snapshot against a solve's decomposition.
-func (ck *Checkpoint) compatible(p, n, nz, slab int) error {
-	if ck.P != p || ck.N != n || ck.Nz != nz || ck.Slab != slab {
-		return fmt.Errorf("hypercube: checkpoint shape P=%d N=%d Nz=%d slab=%d does not match solve P=%d N=%d Nz=%d slab=%d",
-			ck.P, ck.N, ck.Nz, ck.Slab, p, n, nz, slab)
+func (ck *Checkpoint) compatible(part *engine.Partition) error {
+	if ck.P != part.P || ck.N != part.N || ck.Nz != part.Nz {
+		return fmt.Errorf("hypercube: checkpoint shape P=%d N=%d Nz=%d does not match solve P=%d N=%d Nz=%d",
+			ck.P, ck.N, ck.Nz, part.P, part.N, part.Nz)
 	}
-	if len(ck.U) != p || len(ck.V) != p {
-		return fmt.Errorf("hypercube: checkpoint holds %d/%d node grids, want %d", len(ck.U), len(ck.V), p)
+	if len(ck.U) != part.P || len(ck.V) != part.P {
+		return fmt.Errorf("hypercube: checkpoint holds %d/%d node grids, want %d", len(ck.U), len(ck.V), part.P)
 	}
-	for r := 0; r < p; r++ {
-		if len(ck.U[r]) != ck.planeWords() || len(ck.V[r]) != ck.planeWords() {
+	for r := 0; r < part.P; r++ {
+		if ck.planesOf(r) != part.Planes[r] {
+			return fmt.Errorf("hypercube: checkpoint rank %d owns %d planes, solve partition gives it %d",
+				r, ck.planesOf(r), part.Planes[r])
+		}
+		if len(ck.U[r]) != ck.planeWords(r) || len(ck.V[r]) != ck.planeWords(r) {
 			return fmt.Errorf("hypercube: checkpoint rank %d grid has %d/%d words, want %d",
-				r, len(ck.U[r]), len(ck.V[r]), ck.planeWords())
+				r, len(ck.U[r]), len(ck.V[r]), ck.planeWords(r))
 		}
 	}
 	return nil
+}
+
+// partition reconstructs the slab decomposition the snapshot was taken
+// under.
+func (ck *Checkpoint) partition() (*engine.Partition, error) {
+	if ck.Planes == nil {
+		return engine.NewPartition(ck.P, ck.N, ck.Nz)
+	}
+	pt := &engine.Partition{P: ck.P, N: ck.N, Nz: ck.Nz,
+		Lo: make([]int, ck.P), Planes: append([]int(nil), ck.Planes...)}
+	lo := 1
+	for r := 0; r < ck.P; r++ {
+		pt.Lo[r] = lo
+		lo += ck.Planes[r]
+	}
+	if lo != ck.Nz-1 {
+		return nil, fmt.Errorf("hypercube: checkpoint planes sum to %d interior planes, header declares %d", lo-1, ck.Nz-2)
+	}
+	return pt, nil
 }
 
 // checkpointHeader is the fixed-size first section: every scalar the
@@ -124,11 +184,15 @@ func (sw *sectionWriter) section(payload []byte) error {
 // (scalars and slices as little-endian 64-bit words, float64s by bit
 // pattern so restored grids are bit-identical) followed by its CRC32.
 func (ck *Checkpoint) WriteTo(w io.Writer) (int64, error) {
+	magic := checkpointMagic
+	if ck.Planes != nil {
+		magic = checkpointMagicV3
+	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(checkpointMagic); err != nil {
+	if _, err := bw.WriteString(magic); err != nil {
 		return 0, err
 	}
-	sw := &sectionWriter{w: bw, off: int64(len(checkpointMagic))}
+	sw := &sectionWriter{w: bw, off: int64(len(magic))}
 	hdr := checkpointHeader{
 		Sweep: int64(ck.Sweep), P: int64(ck.P), N: int64(ck.N), Nz: int64(ck.Nz), Slab: int64(ck.Slab),
 		MachineCycles: ck.MachineCycles, CommCycles: ck.CommCycles,
@@ -141,6 +205,15 @@ func (ck *Checkpoint) WriteTo(w io.Writer) (int64, error) {
 		{hdr},
 		{ck.Residuals},
 		{ck.FaultFired},
+	}
+	if ck.Planes != nil {
+		// Version 3 only: the per-rank plane counts of an uneven
+		// decomposition, as little-endian int64s.
+		planes := make([]int64, len(ck.Planes))
+		for r, pl := range ck.Planes {
+			planes[r] = int64(pl)
+		}
+		sections = append(sections, []any{planes})
 	}
 	for r := 0; r < ck.P; r++ {
 		sections = append(sections, []any{ck.U[r], ck.V[r]})
@@ -209,10 +282,12 @@ func readCheckpoint(br *bufio.Reader) (*Checkpoint, int64, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, 0, fmt.Errorf("hypercube: reading checkpoint magic: %w", err)
 	}
-	if string(magic) != checkpointMagic {
-		return nil, 0, fmt.Errorf("hypercube: not a checkpoint (magic %q, want %q)", magic, checkpointMagic)
+	uneven := string(magic) == checkpointMagicV3
+	if string(magic) != checkpointMagic && !uneven {
+		return nil, 0, fmt.Errorf("hypercube: not a checkpoint (magic %q, want %q or %q)",
+			magic, checkpointMagic, checkpointMagicV3)
 	}
-	sr := &sectionReader{r: br, off: int64(len(checkpointMagic))}
+	sr := &sectionReader{r: br, off: int64(len(magic))}
 	var hdr checkpointHeader
 	if err := sr.decode("header", int64(binary.Size(hdr)), &hdr); err != nil {
 		return nil, 0, err
@@ -228,7 +303,7 @@ func readCheckpoint(br *bufio.Reader) (*Checkpoint, int64, error) {
 	// carry valid CRCs over absurd shapes, so the caps stay.
 	const maxSane = 1 << 30
 	if hdr.P < 0 || hdr.P > 1<<10 || hdr.N < 0 || hdr.N > maxSane || hdr.Nz < 0 || hdr.Nz > maxSane ||
-		hdr.Slab < 0 || hdr.Slab > maxSane || int64(ck.planeWords()) > maxSane {
+		hdr.Slab < 0 || hdr.Slab > maxSane || int64(ck.maxPlaneWords()) > maxSane {
 		return nil, 0, fmt.Errorf("hypercube: checkpoint header out of range (P=%d N=%d Nz=%d slab=%d)",
 			hdr.P, hdr.N, hdr.Nz, hdr.Slab)
 	}
@@ -250,8 +325,31 @@ func readCheckpoint(br *bufio.Reader) (*Checkpoint, int64, error) {
 	if err := sr.decode("fault-counters", hdr.NFired*8, ck.FaultFired); err != nil {
 		return nil, 0, err
 	}
-	words := int64(ck.planeWords())
+	if uneven {
+		planes := make([]int64, ck.P)
+		if err := sr.decode("planes", int64(ck.P)*8, planes); err != nil {
+			return nil, 0, err
+		}
+		ck.Planes = make([]int, ck.P)
+		sum := 0
+		for r, pl := range planes {
+			if pl < 1 || pl > maxSane {
+				return nil, 0, fmt.Errorf("hypercube: checkpoint rank %d plane count %d out of range", r, pl)
+			}
+			ck.Planes[r] = int(pl)
+			sum += int(pl)
+		}
+		if sum != ck.Nz-2 {
+			return nil, 0, fmt.Errorf("hypercube: checkpoint plane counts sum to %d, header declares %d interior planes",
+				sum, ck.Nz-2)
+		}
+		if int64(ck.maxPlaneWords()) > maxSane {
+			return nil, 0, fmt.Errorf("hypercube: checkpoint plane counts out of range (N=%d max planes=%d)",
+				ck.N, ck.maxPlanes())
+		}
+	}
 	for r := 0; r < ck.P; r++ {
+		words := int64(ck.planeWords(r))
 		u := make([]float64, words)
 		v := make([]float64, words)
 		if err := sr.decode(fmt.Sprintf("rank %d", r), 2*words*8, u, v); err != nil {
@@ -288,24 +386,46 @@ func VerifyCheckpointFile(path string) (*Checkpoint, error) {
 	return VerifyCheckpoint(f)
 }
 
-// SaveCheckpointFile writes the snapshot to path atomically (write to
-// a temp file in the same directory, then rename).
+// SaveCheckpointFile writes the snapshot to path crash-safely: the
+// bytes go to a temp file in the same directory, are fsynced to stable
+// storage, and only then rename over the destination. A process killed
+// at any instant — mid-write, mid-sync, mid-rename — leaves either the
+// old complete file or the new complete file, never a torn mix; at
+// worst an orphaned temp file remains, which the next save of the same
+// path cannot confuse for a checkpoint (the CRC-verified read rejects
+// any partial prefix). The directory entry is fsynced best-effort so
+// the rename itself survives power loss on filesystems that honor it.
 func SaveCheckpointFile(path string, ck *Checkpoint) error {
-	f, err := os.CreateTemp(dirOf(path), ".ckpt-*")
+	dir := dirOf(path)
+	f, err := os.CreateTemp(dir, ".ckpt-*")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
-	if _, err := ck.WriteTo(f); err != nil {
+	fail := func(err error) error {
 		f.Close()
 		os.Remove(tmp)
 		return err
+	}
+	if _, err := ck.WriteTo(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // LoadCheckpointFile reads a snapshot written by SaveCheckpointFile.

@@ -6,6 +6,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/engine"
 )
 
 // captureCheckpoint runs a solve with CheckpointEvery=every and keeps
@@ -197,17 +199,25 @@ func TestRestoreRejectsShapeMismatch(t *testing.T) {
 }
 
 func TestCheckpointCompatible(t *testing.T) {
+	mustPart := func(p, n, nz int) *engine.Partition {
+		t.Helper()
+		pt, err := engine.NewPartition(p, n, nz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pt
+	}
 	ck := &Checkpoint{P: 2, N: 4, Nz: 6, Slab: 2,
 		U: [][]float64{make([]float64, 64), make([]float64, 64)},
 		V: [][]float64{make([]float64, 64), make([]float64, 64)}}
-	if err := ck.compatible(2, 4, 6, 2); err != nil {
+	if err := ck.compatible(mustPart(2, 4, 6)); err != nil {
 		t.Errorf("matching shape rejected: %v", err)
 	}
-	if err := ck.compatible(4, 4, 6, 2); err == nil {
+	if err := ck.compatible(mustPart(4, 4, 6)); err == nil {
 		t.Error("wrong P accepted")
 	}
 	ck.U[1] = ck.U[1][:10]
-	if err := ck.compatible(2, 4, 6, 2); err == nil {
+	if err := ck.compatible(mustPart(2, 4, 6)); err == nil {
 		t.Error("short grid accepted")
 	}
 }

@@ -9,20 +9,23 @@ import "repro/internal/engine"
 
 // Fault types, re-exported from the engine.
 type (
-	FaultKind   = engine.FaultKind
-	Phase       = engine.Phase
-	FaultEvent  = engine.FaultEvent
-	FaultPlan   = engine.FaultPlan
-	RetryPolicy = engine.RetryPolicy
-	BudgetError = engine.BudgetError
-	FaultStats  = engine.FaultStats
+	FaultKind     = engine.FaultKind
+	Phase         = engine.Phase
+	FaultEvent    = engine.FaultEvent
+	FaultPlan     = engine.FaultPlan
+	RetryPolicy   = engine.RetryPolicy
+	BudgetError   = engine.BudgetError
+	FaultStats    = engine.FaultStats
+	DeadRankError = engine.DeadRankError
+	RecoveryStats = engine.RecoveryStats
 )
 
 // Fault kinds.
 const (
-	FaultKill    = engine.FaultKill
-	FaultCorrupt = engine.FaultCorrupt
-	FaultStall   = engine.FaultStall
+	FaultKill        = engine.FaultKill
+	FaultCorrupt     = engine.FaultCorrupt
+	FaultStall       = engine.FaultStall
+	FaultKillForever = engine.FaultKillForever
 )
 
 // Sweep phases.
@@ -51,6 +54,14 @@ func MustFaultPlan(events ...FaultEvent) *FaultPlan {
 // own seeded generator; the same seed always yields the same plan.
 func RandomFaultPlan(seed int64, sweeps, ranks, n int) *FaultPlan {
 	return engine.RandomFaultPlan(seed, sweeps, ranks, n)
+}
+
+// RandomChaosPlan derives a seeded plan mixing transient kills,
+// corruptions and stalls across all phases — the chaos-smoke
+// workload. Deterministic per seed; permanent kills are never
+// generated (chaos tests add their own).
+func RandomChaosPlan(seed int64, sweeps, ranks, n int) *FaultPlan {
+	return engine.RandomChaosPlan(seed, sweeps, ranks, n)
 }
 
 // ParseFaultPlan parses the nscsim -faults syntax (see

@@ -25,7 +25,6 @@ import (
 	"repro/internal/arch"
 	"repro/internal/engine"
 	"repro/internal/jacobi"
-	"repro/internal/microcode"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -102,9 +101,40 @@ type Machine struct {
 	// engine's coordinating goroutine, never concurrently.
 	Observe func(phase string, sweep int, cycles int64)
 
+	// Spares holds cold standby boards (see AddSpares). Degraded-mode
+	// recovery wires one into a permanently dead rank's slot — the spare
+	// adopts the slot's hypercube address — before falling back to a
+	// shrinking re-partition when the pool is empty.
+	Spares []*sim.Node
+	// BuddyEvery controls the in-memory buddy mirror that backs
+	// degraded-mode recovery: 0 (the default) arms it every sweep
+	// exactly when the fault plan contains a permanent kill, a positive
+	// value arms it at that sweep stride unconditionally, and a negative
+	// value disables it (recovery then depends on LastCheckpoint).
+	// Mirrors are host-side, like checkpoints: they never move the
+	// simulated clocks.
+	BuddyEvery int
+	// RecoveryCounters accumulates degraded-mode recovery stats across
+	// completed solves on this machine.
+	RecoveryCounters engine.RecoveryStats
+
 	// pairs holds the parity classes of the ring-exchange pairs,
-	// precomputed at construction (they depend only on P).
+	// recomputed whenever the live rank count changes.
 	pairs [2][]int
+
+	// ring[r] is the live node serving ring rank r and ringAddr[r] its
+	// hypercube address — the Gray code at construction, so neighbours
+	// are one hop apart. Recovery edits these in place: a spare takes
+	// over the dead slot (same address), a shrink deletes the slot, so
+	// survivors may then sit more than one hop from their new ring
+	// neighbours (the engine's exchange accounting absorbs that).
+	ring     []*sim.Node
+	ringAddr []int
+	// activated lists spares wired in by recovery (their FLOP, cache and
+	// trap counters join the per-solve aggregations); deadAddrs the
+	// hypercube addresses of the boards lost.
+	activated []*sim.Node
+	deadAddrs []int
 }
 
 // New builds a hypercube of 2^dim nodes.
@@ -120,15 +150,22 @@ func New(cfg arch.Config, dim int) (*Machine, error) {
 		}
 		m.Nodes = append(m.Nodes, n)
 	}
-	p := m.P()
+	p := len(m.Nodes)
+	m.ring = make([]*sim.Node, p)
+	m.ringAddr = make([]int, p)
+	for r := 0; r < p; r++ {
+		m.ring[r] = m.Nodes[GrayRank(r)]
+		m.ringAddr[r] = GrayRank(r)
+	}
 	m.pairs = [2][]int{engine.PairsOfParity(p, 0), engine.PairsOfParity(p, 1)}
 	return m, nil
 }
 
-// P returns the node count.
-func (m *Machine) P() int { return len(m.Nodes) }
+// P returns the live rank count: the constructed node count until a
+// permanent node loss shrinks the ring.
+func (m *Machine) P() int { return len(m.ring) }
 
-// checkRank validates a node rank.
+// checkRank validates a live ring rank.
 func (m *Machine) checkRank(what string, r int) error {
 	if r < 0 || r >= m.P() {
 		return fmt.Errorf("hypercube: %s node %d outside %d nodes", what, r, m.P())
@@ -136,13 +173,21 @@ func (m *Machine) checkRank(what string, r int) error {
 	return nil
 }
 
-// Hops returns the e-cube path length between two nodes, rejecting
-// out-of-range ranks.
+// checkNode validates a physical hypercube address.
+func (m *Machine) checkNode(what string, r int) error {
+	if r < 0 || r >= len(m.Nodes) {
+		return fmt.Errorf("hypercube: %s node %d outside %d nodes", what, r, len(m.Nodes))
+	}
+	return nil
+}
+
+// Hops returns the e-cube path length between two nodes (physical
+// hypercube addresses), rejecting out-of-range ranks.
 func (m *Machine) Hops(from, to int) (int, error) {
-	if err := m.checkRank("hops from", from); err != nil {
+	if err := m.checkNode("hops from", from); err != nil {
 		return 0, err
 	}
-	if err := m.checkRank("hops to", to); err != nil {
+	if err := m.checkNode("hops to", to); err != nil {
 		return 0, err
 	}
 	return hops(from, to), nil
@@ -155,8 +200,8 @@ func hops(from, to int) int { return bits.OnesCount(uint(from ^ to)) }
 // address bits lowest-dimension first. Out-of-range ranks are rejected
 // with an error.
 func (m *Machine) Route(from, to int) ([]int, error) {
-	if from < 0 || from >= m.P() || to < 0 || to >= m.P() {
-		return nil, fmt.Errorf("hypercube: route %d->%d outside %d nodes", from, to, m.P())
+	if from < 0 || from >= len(m.Nodes) || to < 0 || to >= len(m.Nodes) {
+		return nil, fmt.Errorf("hypercube: route %d->%d outside %d nodes", from, to, len(m.Nodes))
 	}
 	path := []int{from}
 	cur := from
@@ -204,45 +249,74 @@ func (m *Machine) CopyWords(fromNode, fromPlane int, fromAddr int64,
 // pairs can defer accounting to a deterministic rank-order merge.
 func (m *Machine) copyPayload(fromNode, fromPlane int, fromAddr int64,
 	toNode, toPlane int, toAddr int64, count int) (int64, error) {
-	if err := m.checkRank("copy source", fromNode); err != nil {
+	if err := m.checkNode("copy source", fromNode); err != nil {
 		return 0, err
 	}
-	if err := m.checkRank("copy destination", toNode); err != nil {
+	if err := m.checkNode("copy destination", toNode); err != nil {
 		return 0, err
 	}
-	data, err := m.Nodes[fromNode].ReadWords(fromPlane, fromAddr, count)
+	return m.transfer(m.Nodes[fromNode], fromPlane, fromAddr,
+		m.Nodes[toNode], toPlane, toAddr, count, hops(fromNode, toNode))
+}
+
+// transfer moves count words between two nodes' planes and prices the
+// message over the given hop count — the node-addressed core shared by
+// the physical-address API and the ring-rank fabric (whose ranks may
+// map to any live board after a recovery).
+func (m *Machine) transfer(from *sim.Node, fromPlane int, fromAddr int64,
+	to *sim.Node, toPlane int, toAddr int64, count, hops int) (int64, error) {
+	data, err := from.ReadWords(fromPlane, fromAddr, count)
 	if err != nil {
 		return 0, err
 	}
-	if err := m.Nodes[toNode].WriteWords(toPlane, toAddr, data); err != nil {
+	if err := to.WriteWords(toPlane, toAddr, data); err != nil {
 		return 0, err
 	}
-	return m.SendCost(int64(count)*int64(m.Cfg.WordBytes), hops(fromNode, toNode)), nil
+	return m.SendCost(int64(count)*int64(m.Cfg.WordBytes), hops), nil
 }
 
 // fabric adapts the Machine to engine.Fabric: engine ring ranks map to
-// hypercube addresses through the Gray code, so ring neighbours are
-// always one hop apart and the clocks land on the machine's counters.
+// live boards through the machine's ring table — the Gray code at
+// construction, so ring neighbours are one hop apart, and whatever
+// recovery left behind after a permanent node loss — and the clocks
+// land on the machine's counters.
 type fabric struct{ m *Machine }
 
-func (f fabric) P() int               { return f.m.P() }
-func (f fabric) Dim() int             { return f.m.Dim }
-func (f fabric) Node(r int) *sim.Node { return f.m.Nodes[node(r)] }
+func (f fabric) P() int               { return len(f.m.ring) }
+func (f fabric) Dim() int             { return ringDim(len(f.m.ring)) }
+func (f fabric) Node(r int) *sim.Node { return f.m.ring[r] }
 func (f fabric) WordBytes() int       { return f.m.Cfg.WordBytes }
 func (f fabric) SendCost(bytes int64, h int) int64 {
 	return f.m.SendCost(bytes, h)
 }
-func (f fabric) Hops(from, to int) int { return hops(node(from), node(to)) }
+func (f fabric) Hops(from, to int) int { return hops(f.m.ringAddr[from], f.m.ringAddr[to]) }
 func (f fabric) Copy(fromRank, fromPlane int, fromAddr int64,
 	toRank, toPlane int, toAddr int64, count int) (int64, error) {
-	return f.m.copyPayload(node(fromRank), fromPlane, fromAddr,
-		node(toRank), toPlane, toAddr, count)
+	return f.m.transfer(f.m.ring[fromRank], fromPlane, fromAddr,
+		f.m.ring[toRank], toPlane, toAddr, count, f.Hops(fromRank, toRank))
 }
 func (f fabric) Corrupt(r, plane int, addr int64, count int) error {
-	return f.m.corruptWords(node(r), plane, addr, count)
+	return f.m.corruptNode(f.m.ring[r], plane, addr, count)
 }
 func (f fabric) AddMachineCycles(c int64) { f.m.MachineCycles += c }
 func (f fabric) AddCommCycles(c int64)    { f.m.CommCycles += c }
+
+// RecoverRanks lets engine clients that only hold the Fabric (the
+// distributed multigrid) reach the machine's ring repair through a
+// type assertion.
+func (f fabric) RecoverRanks(dead []int) (spared, shrunk int, err error) {
+	return f.m.RecoverRanks(dead)
+}
+
+// ringDim returns the recursive-doubling round count for p ranks:
+// ⌈log₂p⌉, which equals the hypercube dimension while the ring is
+// full.
+func ringDim(p int) int {
+	if p <= 1 {
+		return 0
+	}
+	return bits.Len(uint(p - 1))
+}
 
 // Fabric returns the engine's view of this machine: ring-rank node
 // access through the Gray code plus the router cost model. Engine
@@ -254,8 +328,7 @@ func (m *Machine) Fabric() engine.Fabric { return fabric{m} }
 // track, so ring rank r records on shard r+1 — one Perfetto track per
 // rank, in ring order.
 func (m *Machine) ArmObs() {
-	for r := 0; r < m.P(); r++ {
-		nd := m.Nodes[node(r)]
+	for r, nd := range m.ring {
 		nd.Obs = m.Obs
 		nd.ObsID = r + 1
 	}
@@ -291,6 +364,10 @@ type JacobiResult struct {
 	// (plus any counters carried in from a restored checkpoint), so
 	// parallel runs report identical totals.
 	Traps sim.TrapStats
+	// Recovery counts degraded-mode recoveries: permanent node losses
+	// survived by hot spares or a shrinking re-partition. All-zero
+	// unless a kill-forever fault fired.
+	Recovery engine.RecoveryStats
 }
 
 // SolveJacobi runs the paper's example problem on the hypercube with a
@@ -305,11 +382,15 @@ type JacobiResult struct {
 // When a FaultPlan is armed, faulted operations retry under the
 // machine's RetryPolicy; a retry budget that exhausts rolls the solve
 // back to LastCheckpoint (when one exists and MaxRestores allows)
-// instead of failing. Recovered runs produce bit-identical grids and
-// residual histories to fault-free runs; only the cycle counts grow.
+// instead of failing. A permanent kill (FaultKillForever) instead
+// triggers degraded-mode recovery: the dead slot is refilled from the
+// spare pool or retired by a shrinking re-partition, the iterate is
+// restored from the buddy mirror (or LastCheckpoint), and the solve
+// resumes. Recovered runs produce bit-identical grids and residual
+// histories to fault-free runs; only the cycle counts grow.
 func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 	p := m.P()
-	for _, nd := range m.Nodes {
+	for _, nd := range m.participants() {
 		nd.TrapCfg = m.Trap
 	}
 	m.ArmObs()
@@ -317,31 +398,20 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 	if inner <= 0 || inner%p != 0 {
 		return nil, fmt.Errorf("hypercube: %d interior planes do not divide across %d nodes", inner, p)
 	}
-	slab := inner / p
 	n, nn := global.N, global.N*global.N
 	part, err := engine.NewPartition(p, n, global.Nz)
 	if err != nil {
 		return nil, err
 	}
-	locals := make([]*jacobi.Problem, p)
-	for r := 0; r < p; r++ {
-		if locals[r], err = part.Local(m.Cfg, global, r); err != nil {
-			return nil, err
-		}
-	}
-	fab := m.Fabric()
-	fwd, bwd, err := engine.CompileSweeps(m.Cfg, m.Workers, locals, fab.Node)
-	if err != nil {
+	s := &jacobiSolve{m: m, global: global}
+	if err := s.build(part); err != nil {
 		return nil, err
 	}
 
-	var base FaultStats
-	var pcBase sim.PlanCacheStats
-	var trapBase sim.TrapStats
 	var startSeries []float64
 	startIt, skipAt := 0, -1
 	if ck := m.Restore; ck != nil {
-		if err := ck.compatible(p, n, global.Nz, slab); err != nil {
+		if err := ck.compatible(part); err != nil {
 			return nil, err
 		}
 		if err := m.applyCheckpoint(ck); err != nil {
@@ -351,62 +421,15 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 		startSeries = ck.Residuals
 		m.MachineCycles, m.CommCycles = ck.MachineCycles, ck.CommCycles
 		m.Faults.SetFired(ck.FaultFired)
-		base, pcBase, trapBase = ck.Faults, ck.PlanCache, ck.Traps
+		s.base, s.pcBase, s.trapBase = ck.Faults, ck.PlanCache, ck.Traps
 		m.LastCheckpoint = ck
 	}
 
-	er, err := engine.Run(&engine.Config{
-		Fabric: fab, Part: part, Workers: m.Workers, Pairs: m.pairs,
-		Faults: m.Faults, Retry: m.Retry, SerialExchange: m.SerialExchange,
-		Obs: m.Obs, Observe: m.Observe,
-		ResidualFU: arch.FUID(11), // T4 slot 2 under the default triplet layout
-		Instr: func(it, r int) *microcode.Instr {
-			if it%2 == 1 {
-				return bwd[r]
-			}
-			return fwd[r]
-		},
-		PlaneOf: func(it int) int {
-			if it%2 == 1 {
-				return jacobi.PlaneU
-			}
-			return jacobi.PlaneV
-		},
-		MaxSweeps: global.MaxIter, StopAfter: m.StopAfter, Tol: global.Tol,
-		CheckpointEvery: m.CheckpointEvery,
-		StartSweep:      startIt, StartSeries: startSeries, SkipSnapshotAt: skipAt,
-		Take: func(sweep int, series []float64, live engine.FaultStats) error {
-			combined := base
-			combined.Add(live)
-			ck, err := m.snapshot(sweep, slab, global, series, combined, pcBase, trapBase)
-			if err != nil {
-				return err
-			}
-			m.LastCheckpoint = ck
-			if m.CheckpointSink != nil {
-				if err := m.CheckpointSink(ck); err != nil {
-					return fmt.Errorf("hypercube: checkpoint sink at sweep %d: %w", sweep, err)
-				}
-			}
-			return nil
-		},
-		Rollback: func() (int, []float64, bool, error) {
-			ck := m.LastCheckpoint
-			if ck == nil {
-				return 0, nil, false, nil
-			}
-			if err := ck.compatible(p, n, global.Nz, slab); err != nil {
-				return 0, nil, false, err
-			}
-			if err := m.applyCheckpoint(ck); err != nil {
-				return 0, nil, false, err
-			}
-			return ck.Sweep, ck.Residuals, true, nil
-		},
-	})
+	er, err := engine.Run(s.engineConfig(startIt, startSeries, skipAt))
 	if err != nil {
 		return nil, err
 	}
+	part = s.part // recovery may have re-partitioned
 
 	// Assemble the global field from the owned planes; the global
 	// boundary planes keep their initial values.
@@ -421,27 +444,29 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 	}
 	copy(res.U[:nn], global.U0[:nn])
 	copy(res.U[(global.Nz-1)*nn:], global.U0[(global.Nz-1)*nn:])
-	for r := 0; r < p; r++ {
-		data, err := m.Nodes[node(r)].ReadWords(finalPlane, int64(nn), slab*nn)
+	for r := 0; r < part.P; r++ {
+		data, err := m.ring[r].ReadWords(finalPlane, int64(nn), part.Planes[r]*nn)
 		if err != nil {
 			return nil, err
 		}
-		copy(res.U[part.Lo[r]*nn:(part.Lo[r]+slab)*nn], data)
+		copy(res.U[part.Lo[r]*nn:(part.Lo[r]+part.Planes[r])*nn], data)
 	}
-	res.PlanCache = pcBase
-	for _, nd := range m.Nodes {
+	res.PlanCache = s.pcBase
+	for _, nd := range m.participants() {
 		res.TotalFLOPs += nd.Stats.FLOPs
 		st := nd.PlanCacheStats()
 		res.PlanCache.Hits += st.Hits
 		res.PlanCache.Misses += st.Misses
 		res.PlanCache.Entries += st.Entries
 	}
-	res.Faults = base
+	res.Faults = s.base
 	res.Faults.Add(er.Faults)
 	m.FaultCounters.Add(er.Faults)
-	res.Traps = trapBase
-	for r := 0; r < p; r++ {
-		res.Traps.Add(m.Nodes[node(r)].TrapCounters)
+	res.Recovery = er.Recovery
+	m.RecoveryCounters.Add(er.Recovery)
+	res.Traps = s.trapBase
+	for _, nd := range m.participants() {
+		res.Traps.Add(nd.TrapCounters)
 	}
 	res.Cycles = m.MachineCycles
 	if res.Cycles > 0 {
@@ -453,27 +478,40 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 	return res, nil
 }
 
-// corruptWords bit-flips count words at plane/addr of a node —
+// participants returns every board that has run work for this machine:
+// the constructed nodes plus any activated spares. Counter
+// aggregations (FLOPs, plan cache, traps) run over this set so a dead
+// board's pre-death work and a spare's post-activation work are both
+// reported.
+func (m *Machine) participants() []*sim.Node {
+	if len(m.activated) == 0 {
+		return m.Nodes
+	}
+	return append(append([]*sim.Node(nil), m.Nodes...), m.activated...)
+}
+
+// corruptNode bit-flips count words at plane/addr of a node —
 // deterministic payload corruption (sign plus scattered mantissa bits).
-func (m *Machine) corruptWords(nd, plane int, addr int64, count int) error {
-	data, err := m.Nodes[nd].ReadWords(plane, addr, count)
+func (m *Machine) corruptNode(nd *sim.Node, plane int, addr int64, count int) error {
+	data, err := nd.ReadWords(plane, addr, count)
 	if err != nil {
 		return err
 	}
 	for i, v := range data {
 		data[i] = math.Float64frombits(math.Float64bits(v) ^ 0x8000000000000421)
 	}
-	return m.Nodes[nd].WriteWords(plane, addr, data)
+	return nd.WriteWords(plane, addr, data)
 }
 
-// snapshot captures a sweep-boundary checkpoint: every node's u and v
+// snapshot captures a sweep-boundary checkpoint: every rank's u and v
 // planes, the residual history, the machine clocks and the fault/plan
-// counters.
-func (m *Machine) snapshot(it, slab int, global *jacobi.Problem,
+// counters. An uneven partition (the shape a shrink leaves behind)
+// records its per-rank plane counts and serializes as version 3.
+func (m *Machine) snapshot(it int, part *engine.Partition, global *jacobi.Problem,
 	series []float64, faults FaultStats, pcBase sim.PlanCacheStats, trapBase sim.TrapStats) (*Checkpoint, error) {
 	nn := global.N * global.N
 	ck := &Checkpoint{
-		Sweep: it, P: m.P(), N: global.N, Nz: global.Nz, Slab: slab,
+		Sweep: it, P: part.P, N: global.N, Nz: global.Nz,
 		Residuals:     append([]float64(nil), series...),
 		MachineCycles: m.MachineCycles,
 		CommCycles:    m.CommCycles,
@@ -481,28 +519,33 @@ func (m *Machine) snapshot(it, slab int, global *jacobi.Problem,
 		FaultFired:    m.Faults.FiredSnapshot(),
 		PlanCache:     pcBase,
 	}
-	words := (slab + 2) * nn
-	for r := 0; r < m.P(); r++ {
-		u, err := m.Nodes[node(r)].ReadWords(jacobi.PlaneU, 0, words)
+	if part.Uniform() {
+		ck.Slab = part.Planes[0]
+	} else {
+		ck.Planes = append([]int(nil), part.Planes...)
+	}
+	for r := 0; r < part.P; r++ {
+		words := (part.Planes[r] + 2) * nn
+		u, err := m.ring[r].ReadWords(jacobi.PlaneU, 0, words)
 		if err != nil {
 			return nil, err
 		}
-		v, err := m.Nodes[node(r)].ReadWords(jacobi.PlaneV, 0, words)
+		v, err := m.ring[r].ReadWords(jacobi.PlaneV, 0, words)
 		if err != nil {
 			return nil, err
 		}
 		ck.U = append(ck.U, u)
 		ck.V = append(ck.V, v)
 	}
-	for _, nd := range m.Nodes {
+	for _, nd := range m.participants() {
 		st := nd.PlanCacheStats()
 		ck.PlanCache.Hits += st.Hits
 		ck.PlanCache.Misses += st.Misses
 		ck.PlanCache.Entries += st.Entries
 	}
 	ck.Traps = trapBase
-	for r := 0; r < m.P(); r++ {
-		ck.Traps.Add(m.Nodes[node(r)].TrapCounters)
+	for _, nd := range m.participants() {
+		ck.Traps.Add(nd.TrapCounters)
 	}
 	return ck, nil
 }
@@ -519,7 +562,11 @@ func (m *Machine) ValidateCheckpoint(ck *Checkpoint) error {
 		return fmt.Errorf("hypercube: checkpoint holds %d/%d node grids, header declares %d ranks",
 			len(ck.U), len(ck.V), ck.P)
 	}
-	if w := int64(ck.planeWords()); w > m.Cfg.PlaneWords() {
+	if ck.Planes != nil && len(ck.Planes) != ck.P {
+		return fmt.Errorf("hypercube: checkpoint carries %d plane counts, header declares %d ranks",
+			len(ck.Planes), ck.P)
+	}
+	if w := int64(ck.maxPlaneWords()); w > m.Cfg.PlaneWords() {
 		return fmt.Errorf("hypercube: checkpoint planes of %d words exceed the machine's %d-word planes",
 			w, m.Cfg.PlaneWords())
 	}
@@ -527,33 +574,28 @@ func (m *Machine) ValidateCheckpoint(ck *Checkpoint) error {
 }
 
 // applyCheckpoint writes a snapshot's iterate planes back into the
-// nodes (ranks mapped through the Gray code, as everywhere else).
+// live ring's nodes.
 func (m *Machine) applyCheckpoint(ck *Checkpoint) error {
 	if err := m.ValidateCheckpoint(ck); err != nil {
 		return err
 	}
 	for r := 0; r < ck.P; r++ {
-		if err := m.Nodes[node(r)].WriteWords(jacobi.PlaneU, 0, ck.U[r]); err != nil {
+		if err := m.ring[r].WriteWords(jacobi.PlaneU, 0, ck.U[r]); err != nil {
 			return err
 		}
-		if err := m.Nodes[node(r)].WriteWords(jacobi.PlaneV, 0, ck.V[r]); err != nil {
+		if err := m.ring[r].WriteWords(jacobi.PlaneV, 0, ck.V[r]); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// node maps ring rank r to its hypercube address via the Gray code, so
-// ring neighbours are physical neighbours.
-func node(r int) int { return GrayRank(r) }
-
-// InjectECC arms seeded memory-plane ECC events on ring rank r (the
-// rank is mapped through the Gray code like all ring addressing).
+// InjectECC arms seeded memory-plane ECC events on ring rank r.
 func (m *Machine) InjectECC(r int, faults ...sim.ECCFault) error {
 	if err := m.checkRank("ECC fault", r); err != nil {
 		return err
 	}
-	return m.Nodes[node(r)].InjectECC(faults...)
+	return m.ring[r].InjectECC(faults...)
 }
 
 // RankECCFault is one parsed -ecc-faults entry: an ECC event aimed at
@@ -590,14 +632,16 @@ func ParseRankECCFaults(spec string) ([]RankECCFault, error) {
 	return out, nil
 }
 
-// PeakGFLOPS returns the machine's aggregate peak rate.
+// PeakGFLOPS returns the machine's aggregate peak rate over the
+// installed boards (dead boards included — the hardware exists even
+// when degraded).
 func (m *Machine) PeakGFLOPS() float64 {
-	return float64(m.P()) * m.Cfg.PeakFLOPS() / 1e9
+	return float64(len(m.Nodes)) * m.Cfg.PeakFLOPS() / 1e9
 }
 
-// TotalMemoryBytes returns the machine's aggregate memory.
+// TotalMemoryBytes returns the machine's aggregate installed memory.
 func (m *Machine) TotalMemoryBytes() int64 {
-	return int64(m.P()) * m.Cfg.NodeMemoryBytes()
+	return int64(len(m.Nodes)) * m.Cfg.NodeMemoryBytes()
 }
 
 // Efficiency returns achieved/peak for a result.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package hypercube
+
+const raceEnabled = false

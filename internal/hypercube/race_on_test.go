@@ -1,0 +1,7 @@
+//go:build race
+
+package hypercube
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; wall-clock budgets are skipped under it.
+const raceEnabled = true

@@ -215,7 +215,7 @@ func TestValidateCheckpointRejectsOversize(t *testing.T) {
 	// Planes larger than the machine's memory planes (grid payloads left
 	// empty: the size check reads the header shape, not the slices).
 	ck = &Checkpoint{P: 1, N: 8192, Nz: 3, Slab: 1, U: grids(1, 0), V: grids(1, 0)}
-	if int64(ck.planeWords()) <= m.Cfg.PlaneWords() {
+	if int64(ck.maxPlaneWords()) <= m.Cfg.PlaneWords() {
 		t.Fatal("test shape no longer oversizes the default planes; enlarge it")
 	}
 	if err := m.ValidateCheckpoint(ck); err == nil || !strings.Contains(err.Error(), "words") {

@@ -1,6 +1,7 @@
 package multigrid
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/arch"
@@ -28,6 +29,17 @@ import (
 // global sweeps exactly, the residual combine is a max of local maxima
 // (associative, so bitwise equal to the global max), and the grid
 // transfers consume only owned interior planes.
+//
+// Degraded-mode recovery works at V-cycle granularity. When the fault
+// plan carries a permanent kill, the driver mirrors the global fine
+// iterate to the host at the top of every cycle (free in simulated
+// time, like buddy checkpoints). A DeadRankError mid-cycle repairs the
+// ring through the fabric (hot spare or shrinking re-partition),
+// rebuilds the slabs and the coarse chain over the survivors, scatters
+// the mirrored iterate back, and replays the interrupted cycle. The
+// fine U is the whole cross-cycle state — residual, correction and
+// coarse grids are recomputed inside each cycle — so the replayed
+// trajectory is bit-identical to the fault-free run.
 type Distributed struct {
 	Fabric engine.Fabric
 	Cfg    arch.Config
@@ -39,11 +51,13 @@ type Distributed struct {
 	Tol       float64
 	MaxCycles int
 
+	dc     DistConfig
 	slabs  []*Level // per-rank fine-grid slab levels
 	coarse *Solver  // coarse chain on rank 0's node; nil when levels=1
 	loop   *engine.Loop
 	n      int
 	u0     []float64 // global fine initial guess (boundary assembly)
+	base   engine.FaultStats
 
 	// Host-transfer scratch, allocated once and reused every cycle.
 	fineR   []float64
@@ -67,6 +81,12 @@ type DistConfig struct {
 	// SerialExchange forces the two-parity pairwise halo schedule
 	// (identical results; see engine.Config.SerialExchange).
 	SerialExchange bool
+	// Faults injects a deterministic fault plan into the engine loop.
+	// Transient faults retry under Retry; a permanent kill arms the
+	// cycle-boundary mirror and the ring-repair recovery path.
+	Faults *engine.FaultPlan
+	// Retry bounds transient-fault retries (zero fields take defaults).
+	Retry engine.RetryPolicy
 	// Observe, when non-nil, receives one sample per engine phase.
 	Observe func(phase string, sweep int, cycles int64)
 	// Obs, when non-nil, routes the engine loop's phase samples into
@@ -87,6 +107,11 @@ type DistResult struct {
 	ResidualSeries []float64
 	TotalFLOPs     int64
 	PlanCache      sim.PlanCacheStats
+	// Faults counts injected faults and the retries they caused;
+	// Recovery counts degraded-mode recoveries (dead ranks, spares,
+	// shrinks, replayed V-cycles).
+	Faults   engine.FaultStats
+	Recovery engine.RecoveryStats
 }
 
 // NewDistributed partitions the fine grid over the fabric's ranks,
@@ -100,26 +125,43 @@ func NewDistributed(dc DistConfig) (*Distributed, error) {
 		return nil, fmt.Errorf("multigrid: need at least one level")
 	}
 	n := dc.N
+	gp := jacobi.NewModelProblem(n, dc.Tol, 1)
+	d := &Distributed{
+		Fabric: dc.Fabric, Cfg: dc.Cfg, dc: dc,
+		Pre: 2, Post: 2, Tol: dc.Tol, MaxCycles: dc.MaxCycles,
+		n: n, u0: append([]float64(nil), gp.U0...),
+		fineR: make([]float64, n*n*n),
+	}
+	if err := d.build(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// build (re)constructs everything that depends on the current ring:
+// the partition, the per-rank slab levels and their compiled
+// pipelines, the coarse chain on rank 0's node and the engine loop.
+// Called once at construction and again after a ring repair, when the
+// rank count or the slab boundaries may have changed.
+func (d *Distributed) build() error {
+	dc := d.dc
+	n := d.n
 	p := dc.Fabric.P()
 	part, err := engine.NewPartition(p, n, n)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	// The global fine problem, built exactly like the single-node
 	// solver's finest level: model problem, ω-damped interior mask.
 	gp := jacobi.NewModelProblem(n, dc.Tol, 1)
 	gp.H = 1 / float64(n-1)
-	d := &Distributed{
-		Fabric: dc.Fabric, Cfg: dc.Cfg, Part: part,
-		Pre: 2, Post: 2, Tol: dc.Tol, MaxCycles: dc.MaxCycles,
-		n: n, u0: append([]float64(nil), gp.U0...),
-		fineR: make([]float64, n*n*n),
-	}
+	d.Part = part
 	d.slabs = make([]*Level, p)
+	d.gatherW = nil
 	for r := 0; r < p; r++ {
 		lp, err := part.Local(dc.Cfg, gp, r)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		lv := &Level{P: lp, BinMask: append([]float64(nil), lp.Mask...)}
 		for i, mv := range lp.Mask {
@@ -140,19 +182,20 @@ func NewDistributed(dc DistConfig) (*Distributed, error) {
 		}
 		return nd.WriteWords(jacobi.PlaneMask, lv.P.VarBase+int64(lv.P.Cells()), lv.BinMask)
 	}); err != nil {
-		return nil, err
+		return err
 	}
+	d.coarse = nil
 	if dc.Levels > 1 {
 		nc := (n-1)/2 + 1
 		if (nc-1)*2+1 != n {
-			return nil, fmt.Errorf("multigrid: fine grid %d is not 2·(coarse−1)+1; need n = 2^k+1", n)
+			return fmt.Errorf("multigrid: fine grid %d is not 2·(coarse−1)+1; need n = 2^k+1", n)
 		}
 		// The coarse chain lives behind rank 0's slab storage, strided
 		// by the same rule the single-node hierarchy uses.
 		base := int64(2*d.slabs[0].P.Cells() + 2*n*n)
 		d.coarse, err = NewOnNode(dc.Cfg, dc.Fabric.Node(0), nc, dc.Levels-1, dc.Tol, dc.MaxCycles, base)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		d.zeroU = make([]float64, d.coarse.Levels[0].P.Cells())
 	}
@@ -160,13 +203,26 @@ func NewDistributed(dc DistConfig) (*Distributed, error) {
 		Fabric: dc.Fabric, Part: part, Workers: dc.Workers,
 		ResidualFU:     arch.FUID(11), // T4 slot 2: the residual reduce
 		SerialExchange: dc.SerialExchange,
+		Faults:         dc.Faults,
+		Retry:          dc.Retry,
 		Observe:        dc.Observe,
 		Obs:            dc.Obs,
 	})
+	return err
+}
+
+// barrier folds a loop phase's two-channel result into one error: a
+// retry budget exhausted by transient faults is fatal here, because
+// the distributed V-cycle recovers at cycle granularity, not at sweep
+// checkpoints.
+func barrier(bud *engine.BudgetError, err error) error {
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return d, nil
+	if bud != nil {
+		return bud
+	}
+	return nil
 }
 
 // smooth runs `sweeps` damped-Jacobi sweeps on the slabs, exchanging
@@ -180,15 +236,15 @@ func (d *Distributed) smooth(sweeps int) error {
 		if !fwd {
 			plane = jacobi.PlaneU
 		}
-		if _, err := d.loop.Dispatch(d.op, func(r int) *microcode.Instr {
+		if err := barrier(d.loop.Dispatch(d.op, func(r int) *microcode.Instr {
 			if fwd {
 				return d.slabs[r].fwd
 			}
 			return d.slabs[r].bwd
-		}, plane); err != nil {
+		}, plane)); err != nil {
 			return err
 		}
-		if _, err := d.loop.Exchange(d.op, plane); err != nil {
+		if err := barrier(d.loop.Exchange(d.op, plane)); err != nil {
 			return err
 		}
 		d.op++
@@ -217,9 +273,9 @@ func (d *Distributed) hostTransfer(words []int64) {
 // residual evaluates the fine residual on every slab (reduce registers
 // hold the local maxima afterwards).
 func (d *Distributed) residual() error {
-	_, err := d.loop.Dispatch(d.op, func(r int) *microcode.Instr {
+	err := barrier(d.loop.Dispatch(d.op, func(r int) *microcode.Instr {
 		return d.slabs[r].residual
-	}, -1)
+	}, -1))
 	d.op++
 	return err
 }
@@ -287,37 +343,151 @@ func (d *Distributed) vcycle() error {
 		d.gatherW[r] = int64((pt.Planes[r] + 2) * nn)
 	}
 	d.hostTransfer(d.gatherW)
-	if _, err := d.loop.Dispatch(d.op, func(r int) *microcode.Instr {
+	if err := barrier(d.loop.Dispatch(d.op, func(r int) *microcode.Instr {
 		return d.slabs[r].correct
-	}, -1); err != nil {
+	}, -1)); err != nil {
 		return err
 	}
 	d.op++
-	if _, err := d.loop.Dispatch(d.op, func(r int) *microcode.Instr {
+	if err := barrier(d.loop.Dispatch(d.op, func(r int) *microcode.Instr {
 		return d.slabs[r].copyVU
-	}, -1); err != nil {
+	}, -1)); err != nil {
 		return err
 	}
 	d.op++
 	return d.smooth(d.Post)
 }
 
+// cycle runs one V-cycle plus the convergence residual and combine,
+// returning the global residual maximum.
+func (d *Distributed) cycle() (float64, error) {
+	if err := d.vcycle(); err != nil {
+		return 0, err
+	}
+	if err := d.residual(); err != nil {
+		return 0, err
+	}
+	worst, bud := d.loop.CombineResidual(d.op)
+	d.op++
+	if bud != nil {
+		return 0, bud
+	}
+	return worst, nil
+}
+
+// mirrorFine snapshots the global fine iterate to the host: each
+// rank's owned interior planes plus the fixed boundary planes from the
+// initial guess. Host-side bookkeeping, zero simulated cycles — the
+// exact analogue of the Jacobi driver's buddy mirror.
+func (d *Distributed) mirrorFine(buf *[]float64) error {
+	nn := d.n * d.n
+	if *buf == nil {
+		*buf = make([]float64, d.n*nn)
+		copy((*buf)[:nn], d.u0[:nn])
+		copy((*buf)[(d.n-1)*nn:], d.u0[(d.n-1)*nn:])
+	}
+	for r := 0; r < d.Fabric.P(); r++ {
+		lo := d.Part.Lo[r]
+		if err := d.Fabric.Node(r).ReadWordsInto(jacobi.PlaneU, int64(nn),
+			(*buf)[lo*nn:(lo+d.Part.Planes[r])*nn]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ringRepair is what recovery needs from the fabric: fill or retire
+// the dead slots (hypercube.Machine implements it with hot spares and
+// ring shrinking).
+type ringRepair interface {
+	RecoverRanks(dead []int) (spared, shrunk int, err error)
+}
+
+// recoverDead repairs the ring after a permanent death, rebuilds the
+// solver over the surviving ranks and scatters the cycle-boundary
+// mirror back into the slabs. The interrupted cycle replays from its
+// top afterwards; the fault plan's firing counters persist across the
+// rebuild, so the replay does not re-suffer the death.
+func (d *Distributed) recoverDead(dre *engine.DeadRankError, mirror []float64, rs *engine.RecoveryStats) error {
+	rr, ok := d.Fabric.(ringRepair)
+	if !ok {
+		return fmt.Errorf("multigrid: fabric cannot repair dead ranks: %w", dre)
+	}
+	if mirror == nil {
+		return fmt.Errorf("multigrid: no cycle-boundary mirror to restore: %w", dre)
+	}
+	spared, shrunk, err := rr.RecoverRanks(dre.Ranks)
+	if err != nil {
+		return err
+	}
+	d.base.Add(d.loop.Stats())
+	if err := d.build(); err != nil {
+		return err
+	}
+	// Restore the mirrored iterate into every rank's slab, ghost planes
+	// included. Survivors restoring their own planes is a simulation
+	// artifact (a real survivor keeps its memory), so only the refilled
+	// slots — or the whole ring after a re-partition, when every slab
+	// boundary may have moved — pay for the scatter.
+	nn := d.n * d.n
+	words := make([]int64, d.Fabric.P())
+	deadSlot := map[int]bool{}
+	for _, r := range dre.Ranks {
+		deadSlot[r] = true
+	}
+	for r := 0; r < d.Fabric.P(); r++ {
+		lo := d.Part.Lo[r]
+		w := (d.Part.Planes[r] + 2) * nn
+		if err := d.Fabric.Node(r).WriteWords(jacobi.PlaneU, 0, mirror[(lo-1)*nn:(lo-1)*nn+w]); err != nil {
+			return err
+		}
+		if shrunk > 0 || deadSlot[r] {
+			words[r] = int64(w)
+		}
+	}
+	engine.ChargeScatter(d.Fabric, words)
+	rs.Recoveries++
+	rs.DeadRanks += int64(len(dre.Ranks))
+	rs.SpareActivations += int64(spared)
+	rs.Shrinks += int64(shrunk)
+	rs.BuddyRestores++
+	rs.ResweptSweeps++ // one replayed V-cycle
+	return nil
+}
+
 // Run iterates distributed V-cycles until the combined fine-grid
 // residual drops below tolerance, then assembles the global field from
-// the owned slab planes.
+// the owned slab planes. Permanent node deaths are recovered at cycle
+// granularity when the fault plan carries any (see recoverDead); the
+// result is bit-identical to the fault-free run, only the clocks grow.
 func (d *Distributed) Run() (*DistResult, error) {
-	f := d.Fabric
 	res := &DistResult{}
-	for cyc := 0; cyc < d.MaxCycles; cyc++ {
-		if err := d.vcycle(); err != nil {
-			return nil, err
+	armed := d.dc.Faults.HasPermanent()
+	maxRecoveries := 0
+	if d.dc.Faults != nil {
+		maxRecoveries = len(d.dc.Faults.Events)
+	}
+	var mirror []float64
+	for res.VCycles < d.MaxCycles {
+		if armed {
+			if err := d.mirrorFine(&mirror); err != nil {
+				return nil, err
+			}
+		}
+		opStart := d.op
+		worst, err := d.cycle()
+		if err != nil {
+			var dre *engine.DeadRankError
+			if !errors.As(err, &dre) || !armed || int(res.Recovery.Recoveries) >= maxRecoveries {
+				return nil, err
+			}
+			if rerr := d.recoverDead(dre, mirror, &res.Recovery); rerr != nil {
+				return nil, rerr
+			}
+			d.op = opStart // replay the interrupted cycle on the repaired ring
+			continue
 		}
 		res.VCycles++
-		if err := d.residual(); err != nil {
-			return nil, err
-		}
-		worst, _ := d.loop.CombineResidual(d.op)
-		d.op++
 		res.Residual = worst
 		res.ResidualSeries = append(res.ResidualSeries, worst)
 		if worst < d.Tol {
@@ -325,6 +495,7 @@ func (d *Distributed) Run() (*DistResult, error) {
 			break
 		}
 	}
+	f := d.Fabric
 	nn := d.n * d.n
 	res.U = make([]float64, d.n*nn)
 	copy(res.U[:nn], d.u0[:nn])
@@ -343,6 +514,8 @@ func (d *Distributed) Run() (*DistResult, error) {
 		res.PlanCache.Misses += st.Misses
 		res.PlanCache.Entries += st.Entries
 	}
+	res.Faults = d.base
+	res.Faults.Add(d.loop.Stats())
 	if !res.Converged {
 		return res, fmt.Errorf("multigrid: no convergence in %d V-cycles (residual %g)", res.VCycles, res.Residual)
 	}

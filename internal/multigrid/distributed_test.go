@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/engine"
 	"repro/internal/hypercube"
 )
 
@@ -128,5 +129,146 @@ func TestDistributedRejectsBadShapes(t *testing.T) {
 	}
 	if _, err := NewDistributed(DistConfig{Fabric: m.Fabric(), Cfg: cfg, N: 17, Levels: 0, Tol: 1e-6, MaxCycles: 1}); err == nil {
 		t.Error("zero levels accepted")
+	}
+}
+
+// TestDistributedPermanentKillRecovers: a rank dies mid-V-cycle; the
+// driver repairs the ring (hot spare or shrinking re-partition),
+// restores the cycle-boundary mirror and replays the cycle. The
+// trajectory must stay bit-identical to the fault-free run, with
+// deterministic clocks across worker counts.
+func TestDistributedPermanentKillRecovers(t *testing.T) {
+	cfg := arch.Default()
+	const (
+		n         = 17
+		levels    = 3
+		tol       = 1e-6
+		maxCycles = 100
+	)
+	ref := distRef(t, cfg, n, levels, tol, maxCycles)
+	kill := func() *engine.FaultPlan {
+		return engine.MustFaultPlan(engine.FaultEvent{
+			Sweep: 10, Phase: engine.PhaseDispatch, Rank: 1, Kind: engine.FaultKillForever})
+	}
+	for _, spares := range []int{0, 1} {
+		solve := func(workers int) (*DistResult, *hypercube.Machine) {
+			m, err := hypercube.New(cfg, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spares > 0 {
+				if err := m.AddSpares(spares); err != nil {
+					t.Fatal(err)
+				}
+			}
+			d, err := NewDistributed(DistConfig{
+				Fabric: m.Fabric(), Cfg: cfg,
+				N: n, Levels: levels, Tol: tol, MaxCycles: maxCycles,
+				Workers: workers, Faults: kill(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := d.Run()
+			if err != nil {
+				t.Fatalf("spares=%d workers=%d: recovered solve failed: %v", spares, workers, err)
+			}
+			return res, m
+		}
+		res, m := solve(4)
+		if res.VCycles != ref.VCycles || !res.Converged {
+			t.Fatalf("spares=%d: %d V-cycles, fault-free %d", spares, res.VCycles, ref.VCycles)
+		}
+		for i := range ref.ResidualSeries {
+			if res.ResidualSeries[i] != ref.ResidualSeries[i] {
+				t.Fatalf("spares=%d: residual[%d] = %g, fault-free %g",
+					spares, i, res.ResidualSeries[i], ref.ResidualSeries[i])
+			}
+		}
+		for g := range ref.U {
+			if res.U[g] != ref.U[g] {
+				t.Fatalf("spares=%d: u[%d] = %g, fault-free %g", spares, g, res.U[g], ref.U[g])
+			}
+		}
+		r := res.Recovery
+		if r.Recoveries != 1 || r.DeadRanks != 1 || r.BuddyRestores != 1 || r.ResweptSweeps != 1 {
+			t.Fatalf("spares=%d: recovery stats %s", spares, r)
+		}
+		lv := m.Liveness()
+		if spares > 0 {
+			if r.SpareActivations != 1 || lv.Live != 4 || lv.SparesUsed != 1 {
+				t.Fatalf("spare accounting: %s, liveness %+v", r, lv)
+			}
+		} else if r.Shrinks != 1 || lv.Live != 3 {
+			t.Fatalf("shrink accounting: %s, liveness %+v", r, lv)
+		}
+		// Recovery clocks are pure functions of the seeded plan.
+		again, m1 := solve(1)
+		if again.Recovery != res.Recovery {
+			t.Fatalf("spares=%d: recovery stats differ across workers: %s vs %s", spares, again.Recovery, res.Recovery)
+		}
+		if m1.MachineCycles != m.MachineCycles || m1.CommCycles != m.CommCycles {
+			t.Fatalf("spares=%d: recovered clocks differ across workers: %d/%d vs %d/%d",
+				spares, m1.MachineCycles, m1.CommCycles, m.MachineCycles, m.CommCycles)
+		}
+	}
+}
+
+// TestDistributedTransientChaos: a seeded mix of transient kills, link
+// corruptions and stalls retries through the engine loop and leaves
+// the trajectory bit-identical; the injected work is counted.
+func TestDistributedTransientChaos(t *testing.T) {
+	cfg := arch.Default()
+	ref := distRef(t, cfg, 17, 3, 1e-6, 100)
+	m, err := hypercube.New(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDistributed(DistConfig{
+		Fabric: m.Fabric(), Cfg: cfg,
+		N: 17, Levels: 3, Tol: 1e-6, MaxCycles: 100, Workers: 4,
+		Faults: engine.RandomChaosPlan(7, 30, 4, 6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatalf("chaos solve failed: %v", err)
+	}
+	if res.VCycles != ref.VCycles {
+		t.Fatalf("%d V-cycles, fault-free %d", res.VCycles, ref.VCycles)
+	}
+	for g := range ref.U {
+		if res.U[g] != ref.U[g] {
+			t.Fatalf("u[%d] = %g, fault-free %g", g, res.U[g], ref.U[g])
+		}
+	}
+	if res.Faults.Injected == 0 || res.Recovery.Recoveries != 0 {
+		t.Fatalf("fault accounting: %s / %s", res.Faults, res.Recovery)
+	}
+}
+
+// TestDistributedBudgetExhaustionSurfaces: a transient fault that
+// outlives the retry budget is fatal here — the distributed driver has
+// no sweep-boundary rollback, and a wrong answer is worse than an
+// error.
+func TestDistributedBudgetExhaustionSurfaces(t *testing.T) {
+	cfg := arch.Default()
+	m, err := hypercube.New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDistributed(DistConfig{
+		Fabric: m.Fabric(), Cfg: cfg,
+		N: 17, Levels: 2, Tol: 1e-6, MaxCycles: 10, Workers: 1,
+		Faults: engine.MustFaultPlan(engine.FaultEvent{
+			Sweep: 2, Phase: engine.PhaseDispatch, Rank: 0, Kind: engine.FaultKill, Repeat: 9}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(); err == nil {
+		t.Fatal("exhausted retry budget did not fail the solve")
 	}
 }

@@ -252,6 +252,35 @@ func Scenarios() []Scenario {
 			},
 		},
 		{
+			// A permanent node loss absorbed by a hot spare: the degraded
+			// machine must reproduce the clean solve bit for bit at every
+			// worker count.
+			Name: "jacobi/degraded-spare",
+			Run: func(workers int) (*Signature, error) {
+				return jacobiSignature(workers, func(m *hypercube.Machine) error {
+					m.Faults = hypercube.MustFaultPlan(hypercube.FaultEvent{
+						Sweep: 3, Phase: hypercube.PhaseDispatch, Rank: 1,
+						Kind: hypercube.FaultKillForever,
+					})
+					return m.AddSpares(1)
+				})
+			},
+		},
+		{
+			// The same loss with no spare pool: recovery shrinks the
+			// partition and carries on over the survivors.
+			Name: "jacobi/degraded-shrink",
+			Run: func(workers int) (*Signature, error) {
+				return jacobiSignature(workers, func(m *hypercube.Machine) error {
+					m.Faults = hypercube.MustFaultPlan(hypercube.FaultEvent{
+						Sweep: 3, Phase: hypercube.PhaseDispatch, Rank: 2,
+						Kind: hypercube.FaultKillForever,
+					})
+					return nil
+				})
+			},
+		},
+		{
 			// The distributed multigrid engine over the same fabric.
 			Name: "multigrid/distributed",
 			Run: func(workers int) (*Signature, error) {
@@ -279,6 +308,55 @@ func Scenarios() []Scenario {
 				r, err := d.Run()
 				if err != nil {
 					return nil, err
+				}
+				return &Signature{
+					Series:        r.ResidualSeries,
+					MachineCycles: m.MachineCycles,
+					CommCycles:    m.CommCycles,
+					Metrics:       FilterMetrics(o.Reg.Totals()),
+				}, nil
+			},
+		},
+		{
+			// Multigrid through a permanent node loss: a spare absorbs the
+			// dead rank mid-V-cycle and the degraded run's signature must
+			// still be worker-count-invariant.
+			Name: "multigrid/degraded",
+			Run: func(workers int) (*Signature, error) {
+				m, err := hypercube.New(smallCfg(), 3)
+				if err != nil {
+					return nil, err
+				}
+				m.Workers = workers
+				if err := m.AddSpares(1); err != nil {
+					return nil, err
+				}
+				o := obs.New()
+				m.Obs = o
+				m.ArmObs()
+				d, err := multigrid.NewDistributed(multigrid.DistConfig{
+					Fabric:    m.Fabric(),
+					Cfg:       smallCfg(),
+					N:         17,
+					Levels:    2,
+					Tol:       1e-6,
+					MaxCycles: 100,
+					Workers:   workers,
+					Obs:       o,
+					Faults: hypercube.MustFaultPlan(hypercube.FaultEvent{
+						Sweep: 9, Phase: hypercube.PhaseDispatch, Rank: 1,
+						Kind: hypercube.FaultKillForever,
+					}),
+				})
+				if err != nil {
+					return nil, err
+				}
+				r, err := d.Run()
+				if err != nil {
+					return nil, err
+				}
+				if r.Recovery.Recoveries != 1 {
+					return nil, fmt.Errorf("multigrid/degraded: expected one recovery, got %s", r.Recovery.String())
 				}
 				return &Signature{
 					Series:        r.ResidualSeries,
