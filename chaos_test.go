@@ -16,6 +16,7 @@ import (
 	"repro/internal/hypercube"
 	"repro/internal/jacobi"
 	"repro/internal/multigrid"
+	"repro/internal/topo"
 )
 
 // chaosSeeds are the fixed seeds CI replays; each drives a different
@@ -111,6 +112,65 @@ func TestChaosJacobi(t *testing.T) {
 		if want := 8 - 1 + spares; lv.Live != want {
 			t.Errorf("seed %d: %d nodes live after recovery, want %d", seed, lv.Live, want)
 		}
+	}
+}
+
+// TestChaosTopologies replays a seeded chaos plan — transient faults
+// plus a permanent kill, absorbed by a hot spare on one seed and a
+// shrinking re-partition on the other — over every fabric the topology
+// layer ships. The clean hypercube run is the single reference: every
+// fabric's degraded run must reproduce its residual series and
+// assembled field bit for bit, at one worker and at four.
+func TestChaosTopologies(t *testing.T) {
+	run := func(topology string, workers int, plan *hypercube.FaultPlan, spares int) *hypercube.JacobiResult {
+		tp, err := topo.New(topology, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := hypercube.NewWithTopology(chaosCfg(), tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Workers = workers
+		m.StopAfter = 10
+		m.CheckpointEvery = 2
+		m.Faults = plan
+		if spares > 0 {
+			if err := m.AddSpares(spares); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := m.SolveJacobi(chaosProblem(m.P()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	clean := run("hypercube", 1, nil, 0)
+	for _, topology := range []string{"hypercube", "mesh2d", "torus2d"} {
+		topology := topology
+		t.Run(topology, func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range chaosSeeds[:2] {
+				spares := int(seed) % 2
+				for _, workers := range []int{1, 4} {
+					res := run(topology, workers, chaosPlan(t, seed, 6, 8, 4), spares)
+					if !reflect.DeepEqual(res.ResidualSeries, clean.ResidualSeries) {
+						t.Errorf("seed %d workers %d: residual series diverged from clean hypercube run", seed, workers)
+					}
+					if !reflect.DeepEqual(res.U, clean.U) {
+						t.Errorf("seed %d workers %d: assembled field diverged from clean hypercube run", seed, workers)
+					}
+					if res.Recovery.Recoveries != 1 || res.Recovery.DeadRanks != 1 {
+						t.Errorf("seed %d workers %d: recovery stats %s, want one recovery of one dead rank",
+							seed, workers, res.Recovery.String())
+					}
+					if got := res.Recovery.SpareActivations; got != int64(spares) {
+						t.Errorf("seed %d workers %d: %d spare activations, want %d", seed, workers, got, spares)
+					}
+				}
+			}
+		})
 	}
 }
 

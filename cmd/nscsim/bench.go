@@ -11,9 +11,11 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/hypercube"
 	"repro/internal/jacobi"
+	"repro/internal/multigrid"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // -bench-json runs the repo's headline performance probes through
@@ -46,13 +48,22 @@ type benchOpts struct {
 	faults     *hypercube.FaultPlan
 	spares     int
 	buddyEvery int
+	topology   string // fabric name; empty means hypercube
 }
 
 // benchSolve runs the 8-node Jacobi solve the performance probes time:
-// fault-free by default, with the halo schedule, observability layer,
-// fault plan, spare pool and buddy-mirror stride chosen by opts.
+// fault-free by default, with the halo schedule, fabric, observability
+// layer, fault plan, spare pool and buddy-mirror stride chosen by opts.
 func benchSolve(cfg arch.Config, opts benchOpts) (*hypercube.JacobiResult, *hypercube.Machine, error) {
-	m, err := hypercube.New(cfg, 3)
+	name := opts.topology
+	if name == "" {
+		name = "hypercube"
+	}
+	tp, err := topo.New(name, 8)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := hypercube.NewWithTopology(cfg, tp)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -297,6 +308,71 @@ func runBenchJSON(stdout io.Writer, cfg arch.Config) error {
 				"resweeps":       float64(rec.ResweptSweeps),
 			}))
 		}
+	}
+
+	// Topology cost model: the same two solves — the 8-node Jacobi slab
+	// and the distributed multigrid — over every fabric the topology
+	// layer ships. The solutions are bit-identical across fabrics (the
+	// differential tests pin that); these records track what each
+	// fabric's hop metric charges the simulated clocks for it.
+	for _, topology := range topo.Names() {
+		var cycles, comm int64
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, m, err := benchSolve(cfg, benchOpts{topology: topology})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles, comm = m.MachineCycles, m.CommCycles
+			}
+		})
+		out = append(out, record("topology-jacobi/"+topology, r, map[string]float64{
+			"machine_cycles": float64(cycles),
+			"comm_cycles":    float64(comm),
+		}))
+	}
+	for _, topology := range topo.Names() {
+		runMG := func() (*multigrid.DistResult, *hypercube.Machine, error) {
+			tp, err := topo.New(topology, 8)
+			if err != nil {
+				return nil, nil, err
+			}
+			m, err := hypercube.NewWithTopology(cfg, tp)
+			if err != nil {
+				return nil, nil, err
+			}
+			m.Workers = runtime.GOMAXPROCS(0)
+			d, err := multigrid.NewDistributed(multigrid.DistConfig{
+				Fabric:    m.Fabric(),
+				Cfg:       cfg,
+				N:         17,
+				Levels:    2,
+				Tol:       1e-6,
+				MaxCycles: 100,
+				Workers:   m.Workers,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			res, err := d.Run()
+			return res, m, err
+		}
+		var cycles, comm int64
+		var vcycles int
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, m, err := runMG()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles, comm, vcycles = m.MachineCycles, m.CommCycles, res.VCycles
+			}
+		})
+		out = append(out, record("topology-multigrid/"+topology, r, map[string]float64{
+			"machine_cycles": float64(cycles),
+			"comm_cycles":    float64(comm),
+			"v_cycles":       float64(vcycles),
+		}))
 	}
 
 	enc := json.NewEncoder(stdout)

@@ -19,8 +19,11 @@
 // instruction once and replay the compiled pipeline configuration.
 //
 // -jacobi n switches to the multi-node driver: it solves the paper's
-// n×n model Poisson problem on a 2^d-node hypercube (-cube d), two
-// interior planes per node. -sweeps fixes the sweep count (0 runs to
+// n×n model Poisson problem on a 2^d-node machine (-cube d), two
+// interior planes per node. -topology picks the interconnect fabric —
+// hypercube (the default), mesh2d or torus2d — which changes only the
+// simulated comm clocks: grids and residual series are bit-identical
+// across fabrics. -sweeps fixes the sweep count (0 runs to
 // convergence). -faults arms a deterministic fault plan (see
 // hypercube.ParseFaultPlan for the syntax: either an event list like
 // "dispatch:kill@2:1:repeat=2" or "seed@S:sweeps=N:ranks=P:events=K"),
@@ -77,6 +80,7 @@ import (
 	"repro/internal/microcode"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 type multi []string
@@ -99,6 +103,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	par := fs.Int("par", 1, "run the program on this many nodes concurrently (SPMD)")
 	jacobiN := fs.Int("jacobi", 0, "solve the n×n model problem on the hypercube driver")
 	cubeDim := fs.Int("cube", 0, "hypercube dimension for -jacobi (2^d nodes)")
+	topology := fs.String("topology", "hypercube", "interconnect fabric for -jacobi: hypercube, mesh2d or torus2d")
 	sweeps := fs.Int("sweeps", 0, "fixed sweep count for -jacobi (0 = run to convergence)")
 	faults := fs.String("faults", "", "fault plan for -jacobi (event list or seed@... form)")
 	kill := fs.String("kill", "", "permanently kill ranks during -jacobi: sweep:rank[,...]")
@@ -159,7 +164,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *jacobiN > 0 {
-		err := runJacobi(stdout, cfg, *jacobiN, *cubeDim, *sweeps, *faults, *kill, *spares, *ckEvery, *ckPath, *restore, trap, *eccFaults, o)
+		err := runJacobi(stdout, cfg, *jacobiN, *cubeDim, *topology, *sweeps, *faults, *kill, *spares, *ckEvery, *ckPath, *restore, trap, *eccFaults, o)
 		if err == nil {
 			err = o.WriteFiles(stdout, *metricsJSON, *traceOut)
 		}
@@ -293,10 +298,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // runJacobi drives the multi-node solver with the robustness knobs.
-func runJacobi(stdout io.Writer, cfg arch.Config, n, dim, sweeps int,
+func runJacobi(stdout io.Writer, cfg arch.Config, n, dim int, topology string, sweeps int,
 	faultSpec, killSpec string, spares, ckEvery int, ckPath, restore string,
 	trap arch.TrapConfig, eccSpec string, o *obs.Obs) error {
-	m, err := hypercube.New(cfg, dim)
+	if dim < 0 || dim > 10 {
+		return fmt.Errorf("hypercube: dimension %d out of range", dim)
+	}
+	t, err := topo.New(topology, 1<<uint(dim))
+	if err != nil {
+		return err
+	}
+	m, err := hypercube.NewWithTopology(cfg, t)
 	if err != nil {
 		return err
 	}
@@ -386,8 +398,8 @@ func runJacobi(stdout io.Writer, cfg arch.Config, n, dim, sweeps int,
 			}
 		}
 	}
-	fmt.Fprintf(stdout, "hypercube: %d node(s) (dim %d), grid %d×%d×%d, %d plane(s) per node\n",
-		m.P(), m.Dim, g.N, g.N, g.Nz, (g.Nz-2)/m.P())
+	fmt.Fprintf(stdout, "%s: %d node(s) (%s), grid %d×%d×%d, %d plane(s) per node\n",
+		m.Topo.Name(), m.P(), m.Topo.Shape(), g.N, g.N, g.Nz, (g.Nz-2)/m.P())
 	res, err := m.SolveJacobi(g)
 	if err != nil {
 		return err

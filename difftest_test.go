@@ -103,6 +103,53 @@ func TestDifferentialRecovery(t *testing.T) {
 	}
 }
 
+// TestDifferentialTopology adds the topology axis to the differential
+// battery: every fabric's scenarios are worker-count-invariant on
+// their own, and across fabrics the same scenario — clean, both
+// degraded-recovery paths, distributed multigrid — produces the same
+// solution bits. Only the simulated comm clocks may differ between
+// fabrics, which is exactly what SameSolution ignores.
+func TestDifferentialTopology(t *testing.T) {
+	topologies := difftest.Topologies()
+	if len(topologies) < 3 {
+		t.Fatalf("topo registry lists %d fabrics, want at least 3", len(topologies))
+	}
+	ref := difftest.TopologyBattery("hypercube")
+	refSigs := make([]*difftest.Signature, len(ref))
+	for i := range ref {
+		sig, err := ref[i].Run(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refSigs[i] = sig
+	}
+	for _, name := range topologies {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			battery := difftest.TopologyBattery(name)
+			if err := difftest.Check(battery, []int{1, 4}); err != nil {
+				t.Error(err)
+			}
+			if name == "hypercube" {
+				return
+			}
+			if len(battery) != len(ref) {
+				t.Fatalf("battery has %d scenarios, hypercube reference %d", len(battery), len(ref))
+			}
+			for i := range battery {
+				sig, err := battery[i].Run(4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := difftest.SameSolution(ref[i].Name, refSigs[i], battery[i].Name, sig); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+}
+
 // TestDifferentialDegraded pins the degraded-mode contract against the
 // clean baseline: after a permanent node loss — absorbed by a hot spare
 // or by a shrinking re-partition — the residual series still matches

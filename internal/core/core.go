@@ -22,6 +22,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/render"
 	"repro/internal/sim"
+	"repro/internal/topo"
 	"repro/internal/trace"
 )
 
@@ -29,15 +30,19 @@ import (
 // checker, generator and a simulated node, all built from the same
 // machine configuration.
 type Environment struct {
-	Cfg  arch.Config
-	Inv  *arch.Inventory
-	Ed   *editor.Editor
-	Gen  *codegen.Generator
+	Cfg arch.Config
+	Inv *arch.Inventory
+	Ed  *editor.Editor
+	Gen *codegen.Generator
 	// Pipe is the session's compilation pipeline: the pass-structured,
 	// cached front end every Generate call routes through. It shares
 	// the session's generator and checker.
 	Pipe *pipeline.Pipeline
 	Node *sim.Node
+	// Topology names the fabric multi-node machines are built over:
+	// "hypercube" (the default when empty), "mesh2d" or "torus2d" — any
+	// name topo.New accepts. Changing it invalidates a cached Cube.
+	Topology string
 	// Cube is the session's multi-node machine, built on demand by
 	// Hypercube. Nil until a multi-node solve is requested.
 	Cube *hypercube.Machine
@@ -128,14 +133,24 @@ func (env *Environment) PlanCacheStats() sim.PlanCacheStats {
 }
 
 // Hypercube returns the session's multi-node machine, building a
-// 2^dim-node cube on first use (or when the dimension changes). The
-// machine keeps its fault plan, retry policy and checkpoint settings
-// across solves, so a session configures robustness once.
+// 2^dim-node machine over the session's Topology on first use (or when
+// the dimension or topology changes). The machine keeps its fault
+// plan, retry policy and checkpoint settings across solves, so a
+// session configures robustness once. The name is historical: the
+// machine is a hypercube by default but follows env.Topology.
 func (env *Environment) Hypercube(dim int) (*hypercube.Machine, error) {
-	if env.Cube != nil && env.Cube.Dim == dim {
+	name := env.Topology
+	if name == "" {
+		name = "hypercube"
+	}
+	if env.Cube != nil && env.Cube.Dim == dim && env.Cube.Topo.Name() == name {
 		return env.Cube, nil
 	}
-	m, err := hypercube.New(env.Cfg, dim)
+	t, err := topo.New(name, 1<<uint(dim))
+	if err != nil {
+		return nil, err
+	}
+	m, err := hypercube.NewWithTopology(env.Cfg, t)
 	if err != nil {
 		return nil, err
 	}

@@ -41,11 +41,11 @@ import (
 // Fabric is the machine substrate the engine runs on: rank-addressed
 // node access, the message cost model, and the machine-wide clocks.
 // Ranks are ring ranks; the implementation maps them to physical
-// topology (the hypercube adapter uses the Gray code).
+// topology through an internal/topo embedding (the hypercube machine
+// uses the Gray code; mesh and torus machines a snake walk).
 type Fabric interface {
-	// P returns the rank count; Dim the log₂ of it (combine rounds).
+	// P returns the rank count.
 	P() int
-	Dim() int
 	// Node returns the simulated node behind a ring rank.
 	Node(rank int) *sim.Node
 	// WordBytes is the payload size of one word.
@@ -53,7 +53,25 @@ type Fabric interface {
 	// SendCost prices one message of `bytes` over `hops` hops.
 	SendCost(bytes int64, hops int) int64
 	// Hops returns the path length between two ring ranks.
+	//
+	// Invariant: both ranks must be live (0 ≤ r < P). The engine
+	// establishes this once, when NewLoop checks the partition and the
+	// exchange schedule against P, and never addresses a rank outside
+	// that range afterwards — so, unlike the machine-level Hops APIs,
+	// this one carries no error return. Implementations must panic on a
+	// violation rather than return a garbage distance.
 	Hops(from, to int) int
+	// Topology names the physical fabric ("hypercube", "mesh2d",
+	// "torus2d") for observability tags and reports.
+	Topology() string
+	// ExchangePairs returns the parity classes of the ring-exchange
+	// schedule over the live ranks (see topo.Topology.ExchangeSchedule).
+	ExchangePairs() [2][]int
+	// CombineHops returns the per-round critical-path hop counts of the
+	// residual-combine tree over the live ranks: the loop charges one
+	// word-sized message over CombineHops()[d] hops for round d. Empty
+	// when P is 1.
+	CombineHops() []int
 	// Copy moves count words between ranks' planes, returning the
 	// router cost without touching the shared clocks, so concurrent
 	// transfers over disjoint pairs can defer accounting to a
@@ -74,11 +92,6 @@ type Config struct {
 	Fabric  Fabric
 	Part    *Partition
 	Workers int
-
-	// Pairs optionally supplies the precomputed parity classes of the
-	// ring-exchange pairs (a machine computes them once at
-	// construction); when empty the loop derives them from P.
-	Pairs [2][]int
 
 	// Faults, when non-nil, arms deterministic fault injection; Retry
 	// bounds the recovery (zero fields take DefaultRetryPolicy).
@@ -199,10 +212,23 @@ func NewLoop(cfg *Config) (*Loop, error) {
 		retry: cfg.Retry.withDefaults(),
 		sweep: make([]int64, p),
 		cost:  make([]int64, p),
-		pairs: cfg.Pairs,
+		pairs: cfg.Fabric.ExchangePairs(),
 	}
 	if lp.pairs[0] == nil && lp.pairs[1] == nil {
 		lp.pairs = [2][]int{PairsOfParity(p, 0), PairsOfParity(p, 1)}
+	}
+	// Validate the schedule once, here: every pair (r, r+1) the loop
+	// will exchange must be live, so Fabric.Hops is never asked about an
+	// out-of-range rank afterwards (see the interface invariant).
+	for _, class := range lp.pairs {
+		for _, r := range class {
+			if r < 0 || r+1 >= p {
+				return nil, fmt.Errorf("engine: exchange pair (%d,%d) outside %d live ranks", r, r+1, p)
+			}
+		}
+	}
+	if o := cfg.Obs; o != nil {
+		o.Inc("engine.topology." + cfg.Fabric.Topology())
 	}
 	if cfg.Faults != nil {
 		lp.deltas = make([]FaultStats, p)
@@ -379,11 +405,14 @@ func (lp *Loop) gather(r, plane int) error {
 
 // CombineResidual reads the per-rank reduce registers, combines them
 // host-side (max is associative, so the max of local maxima is the
-// global max bit for bit) and charges the log₂P recursive-doubling
-// rounds the machine would spend. Lost or corrupted combine rounds
-// re-send with backoff; the wasted round still crossed the wire, so it
-// is charged too. A non-nil BudgetError means the combine's retry
-// budget exhausted and the sweep must roll back or surface.
+// global max bit for bit) and charges the combine tree the fabric's
+// topology prescribes: one word-sized message per round, over that
+// round's critical-path hop count (single-hop recursive doubling on the
+// hypercube; real lattice distances on a mesh or torus). Lost or
+// corrupted combine rounds re-send with backoff; the wasted round still
+// crossed the wire, so it is charged too. A non-nil BudgetError means
+// the combine's retry budget exhausted and the sweep must roll back or
+// surface.
 func (lp *Loop) CombineResidual(sweepNo int) (float64, *BudgetError) {
 	cfg := lp.cfg
 	f := cfg.Fabric
@@ -397,10 +426,11 @@ func (lp *Loop) CombineResidual(sweepNo int) (float64, *BudgetError) {
 	if p == 1 {
 		return worst, nil
 	}
-	step := f.SendCost(int64(f.WordBytes()), 1)
+	steps := f.CombineHops()
 	combine := int64(0)
 	var mergeBE *BudgetError
-	for d := 0; d < f.Dim() && mergeBE == nil; d++ {
+	for d := 0; d < len(steps) && mergeBE == nil; d++ {
+		step := f.SendCost(int64(f.WordBytes()), steps[d])
 		if cfg.Faults != nil {
 			for attempt := 0; ; attempt++ {
 				ev := cfg.Faults.trigger(sweepNo, PhaseMerge, d)

@@ -32,19 +32,39 @@ import (
 // checkpointMagic identifies the on-disk snapshot format: version 2 of
 // the NSCCKPT family, which added the per-section checksums and the
 // trap counters. Version 3 (checkpointMagicV3) extends it with a
-// per-rank plane-count section for uneven decompositions — the shape a
-// shrinking re-partition leaves behind. Uniform snapshots always write
-// version 2, byte-identical to before, so every pre-existing file and
-// reader keeps working.
+// topology section and, for uneven decompositions — the shape a
+// shrinking re-partition leaves behind — a per-rank plane-count
+// section. Uniform hypercube snapshots always write version 2,
+// byte-identical to before, so every pre-existing file and reader keeps
+// working; version 2 implies the hypercube.
 const (
 	checkpointMagic   = "NSCCKPT2"
 	checkpointMagicV3 = "NSCCKPT3"
 )
 
+// topologyKinds maps the version-3 topology section's kind word to the
+// canonical topology names. Append only: the kind is an on-disk value.
+var topologyKinds = []string{"hypercube", "mesh2d", "torus2d"}
+
+// topologyKind returns the on-disk kind word for a topology name.
+func topologyKind(name string) (int64, error) {
+	for k, n := range topologyKinds {
+		if n == name {
+			return int64(k), nil
+		}
+	}
+	return 0, fmt.Errorf("hypercube: checkpoint cannot record topology %q", name)
+}
+
 // Checkpoint is one sweep-boundary snapshot of a multi-node solve.
 type Checkpoint struct {
 	// Sweep is the iteration index the resumed solve executes next.
 	Sweep int
+	// Topology names the fabric the snapshot was taken on ("hypercube",
+	// "mesh2d", "torus2d"); restores onto a different fabric are
+	// rejected. Version-2 files carry no topology section and read back
+	// as "hypercube".
+	Topology string
 	// Shape guard: node count, global N/Nz, planes per node.
 	P, N, Nz, Slab int
 	// Planes, when non-nil, is the per-rank interior plane count of an
@@ -185,7 +205,8 @@ func (sw *sectionWriter) section(payload []byte) error {
 // pattern so restored grids are bit-identical) followed by its CRC32.
 func (ck *Checkpoint) WriteTo(w io.Writer) (int64, error) {
 	magic := checkpointMagic
-	if ck.Planes != nil {
+	v3 := ck.Planes != nil || (ck.Topology != "" && ck.Topology != "hypercube")
+	if v3 {
 		magic = checkpointMagicV3
 	}
 	bw := bufio.NewWriter(w)
@@ -206,9 +227,22 @@ func (ck *Checkpoint) WriteTo(w io.Writer) (int64, error) {
 		{ck.Residuals},
 		{ck.FaultFired},
 	}
+	if v3 {
+		// Version 3 only: the fabric the snapshot was taken on, as one
+		// little-endian kind word.
+		name := ck.Topology
+		if name == "" {
+			name = "hypercube"
+		}
+		kind, err := topologyKind(name)
+		if err != nil {
+			return 0, err
+		}
+		sections = append(sections, []any{kind})
+	}
 	if ck.Planes != nil {
-		// Version 3 only: the per-rank plane counts of an uneven
-		// decomposition, as little-endian int64s.
+		// Version 3, uneven decompositions only (header Slab is 0 then):
+		// the per-rank plane counts, as little-endian int64s.
 		planes := make([]int64, len(ck.Planes))
 		for r, pl := range ck.Planes {
 			planes[r] = int64(pl)
@@ -282,8 +316,8 @@ func readCheckpoint(br *bufio.Reader) (*Checkpoint, int64, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, 0, fmt.Errorf("hypercube: reading checkpoint magic: %w", err)
 	}
-	uneven := string(magic) == checkpointMagicV3
-	if string(magic) != checkpointMagic && !uneven {
+	v3 := string(magic) == checkpointMagicV3
+	if string(magic) != checkpointMagic && !v3 {
 		return nil, 0, fmt.Errorf("hypercube: not a checkpoint (magic %q, want %q or %q)",
 			magic, checkpointMagic, checkpointMagicV3)
 	}
@@ -325,7 +359,20 @@ func readCheckpoint(br *bufio.Reader) (*Checkpoint, int64, error) {
 	if err := sr.decode("fault-counters", hdr.NFired*8, ck.FaultFired); err != nil {
 		return nil, 0, err
 	}
-	if uneven {
+	ck.Topology = "hypercube"
+	if v3 {
+		var kind int64
+		if err := sr.decode("topology", 8, &kind); err != nil {
+			return nil, 0, err
+		}
+		if kind < 0 || kind >= int64(len(topologyKinds)) {
+			return nil, 0, fmt.Errorf("hypercube: checkpoint topology kind %d unknown", kind)
+		}
+		ck.Topology = topologyKinds[kind]
+	}
+	// The plane-count section exists only for uneven decompositions,
+	// whose headers carry no uniform slab size.
+	if v3 && hdr.Slab == 0 {
 		planes := make([]int64, ck.P)
 		if err := sr.decode("planes", int64(ck.P)*8, planes); err != nil {
 			return nil, 0, err

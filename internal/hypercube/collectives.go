@@ -3,44 +3,45 @@ package hypercube
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/topo"
 )
 
-// Collective operations over the hyperspace routers, implemented with
-// the classic recursive-doubling schedules: every step pairs nodes one
-// hop apart, so a collective over 2^d nodes takes exactly d
-// single-hop message rounds. The multi-node Jacobi driver uses the
+// Collective operations over the routers, scheduled by the machine's
+// topology: the hypercube runs the classic recursive-doubling trees —
+// every step pairs nodes one hop apart, so a collective over 2^d nodes
+// takes exactly d single-hop message rounds — while the lattice fabrics
+// (and any ring recovery has reshaped) run the generic rank-space trees
+// priced by their own hop metric. The multi-node Jacobi driver uses the
 // max-combine; the broadcast distributes host-prepared data (grids,
 // masks) without charging the host path.
 
-// Broadcast copies `count` words from plane/addr on the root node to
-// the same plane/addr on every node, along a binomial tree rooted at
-// `root`. Critical path: d rounds of one single-hop message.
+// rankOfAddr returns the ring rank the physical address currently
+// serves, or -1 when no live rank maps to it (a dead, shrunk-away or
+// out-of-range board).
+func (m *Machine) rankOfAddr(addr int) int {
+	for r, a := range m.ringAddr {
+		if a == addr {
+			return r
+		}
+	}
+	return -1
+}
+
+// Broadcast copies `count` words from plane/addr on the root node (a
+// physical address) to the same plane/addr on every live node, along
+// the topology's broadcast tree. On the hypercube the critical path is
+// d rounds of one single-hop message.
 func (m *Machine) Broadcast(root, plane int, addr int64, count int) error {
-	if root < 0 || root >= m.P() {
+	rootRank := m.rankOfAddr(root)
+	if rootRank < 0 {
 		return fmt.Errorf("hypercube: broadcast root %d outside %d nodes", root, m.P())
 	}
-	bytes := int64(count) * int64(m.Cfg.WordBytes)
-	for d := 0; d < m.Dim; d++ {
-		bit := 1 << uint(d)
-		// Nodes whose relative address fits in the low d bits already
-		// hold the data; each sends across dimension d.
-		for rel := 0; rel < bit; rel++ {
-			from := root ^ rel
-			to := from ^ bit
-			data, err := m.Nodes[from].ReadWords(plane, addr, count)
-			if err != nil {
-				return err
-			}
-			if err := m.Nodes[to].WriteWords(plane, addr, data); err != nil {
-				return err
-			}
-			m.CommCycles += m.SendCost(bytes, 1)
-		}
-		// The per-round sends happen concurrently: one message on the
-		// critical path per dimension.
-		m.MachineCycles += m.SendCost(bytes, 1)
+	rounds, err := m.Topo.BroadcastTree(rootRank, m.ringAddr)
+	if err != nil {
+		return err
 	}
-	return nil
+	return m.runTree(rounds, plane, addr, count, ReduceMax)
 }
 
 // ReduceOp names an elementwise combining operator for AllReduce.
@@ -67,42 +68,54 @@ func (op ReduceOp) apply(a, b float64) (float64, error) {
 	return 0, fmt.Errorf("hypercube: unknown reduce op %d", int(op))
 }
 
-// AllReduce combines `count` words at plane/addr across all nodes with
-// op, leaving the result on every node (recursive doubling: d rounds
-// of pairwise single-hop exchange and local combine).
+// AllReduce combines `count` words at plane/addr across all live nodes
+// with op, leaving the result on every node, along the topology's
+// all-reduce tree (recursive doubling on the hypercube: d rounds of
+// pairwise single-hop exchange and local combine).
 func (m *Machine) AllReduce(plane int, addr int64, count int, op ReduceOp) error {
+	return m.runTree(m.Topo.AllReduceTree(m.ringAddr), plane, addr, count, op)
+}
+
+// runTree executes a collective schedule round by round. Every round
+// reads a snapshot of all live ranks first, so its exchanges are
+// simultaneous; combine rounds fold the source into the destination
+// (dst = op(dst, src)), copy rounds overwrite. Each message charges the
+// router aggregate over its own hop count and each round charges the
+// critical path over its worst edge.
+func (m *Machine) runTree(rounds []topo.Round, plane int, addr int64, count int, op ReduceOp) error {
 	bytes := int64(count) * int64(m.Cfg.WordBytes)
-	// One snapshot row per node plus one combine scratch, reused across
-	// all d rounds (WriteWords copies, so the scratch never aliases
-	// plane storage).
+	// One snapshot row per rank plus one scratch, reused across all
+	// rounds (WriteWords copies, so the scratch never aliases plane
+	// storage).
 	snap := make([][]float64, m.P())
-	for n := range snap {
-		snap[n] = make([]float64, count)
+	for r := range snap {
+		snap[r] = make([]float64, count)
 	}
-	combined := make([]float64, count)
-	for d := 0; d < m.Dim; d++ {
-		bit := 1 << uint(d)
-		// Snapshot before the round: exchanges are simultaneous.
-		for n := 0; n < m.P(); n++ {
-			if err := m.Nodes[n].ReadWordsInto(plane, addr, snap[n]); err != nil {
+	scratch := make([]float64, count)
+	for _, rd := range rounds {
+		for r := 0; r < m.P(); r++ {
+			if err := m.ring[r].ReadWordsInto(plane, addr, snap[r]); err != nil {
 				return err
 			}
 		}
-		for n := 0; n < m.P(); n++ {
-			peer := n ^ bit
-			for i := 0; i < count; i++ {
-				v, err := op.apply(snap[n][i], snap[peer][i])
-				if err != nil {
-					return err
+		for _, e := range rd.Edges {
+			if rd.Copy {
+				copy(scratch, snap[e.Src])
+			} else {
+				for i := 0; i < count; i++ {
+					v, err := op.apply(snap[e.Dst][i], snap[e.Src][i])
+					if err != nil {
+						return err
+					}
+					scratch[i] = v
 				}
-				combined[i] = v
 			}
-			if err := m.Nodes[n].WriteWords(plane, addr, combined); err != nil {
+			if err := m.ring[e.Dst].WriteWords(plane, addr, scratch); err != nil {
 				return err
 			}
-			m.CommCycles += m.SendCost(bytes, 1)
+			m.CommCycles += m.SendCost(bytes, m.hopsAddr(m.ringAddr[e.Src], m.ringAddr[e.Dst]))
 		}
-		m.MachineCycles += m.SendCost(bytes, 1)
+		m.MachineCycles += m.SendCost(bytes, rd.Hops)
 	}
 	return nil
 }

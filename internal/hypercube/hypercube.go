@@ -1,13 +1,16 @@
-// Package hypercube models the multi-node NSC: 2^d nodes in a
-// hypercube configuration connected by hyperspace routers (§1, §2).
-// Messages follow e-cube (dimension-order) routes; the cost model is
-// per-hop latency plus bandwidth-limited transfer, from the arch
-// configuration.
+// Package hypercube models the multi-node NSC: simulated nodes
+// connected by hyperspace routers (§1, §2). The interconnect geometry
+// lives in internal/topo — the paper's machine is the hypercube fabric
+// (e-cube routes over a Gray-code ring), but the same Machine runs over
+// the mesh and torus fabrics of related lattice computers; the cost
+// model is per-hop latency plus bandwidth-limited transfer, from the
+// arch configuration, with the hop counts and collective schedules
+// supplied by the topology.
 //
 // The package also provides the multi-node point-Jacobi driver used by
 // the scaling experiment (P2): 1-D domain decomposition along k with
-// ghost-plane exchange between ring neighbours (a Gray-code ring, so
-// every exchange is a single hop) and a log₂P convergence combine.
+// ghost-plane exchange between ring neighbours (one hop on every
+// pristine embedding) and a residual combine over the topology's tree.
 // Since PR 4 the sweep loop itself — partitioning, per-rank codegen,
 // halo exchange, convergence reduction, fault injection, retry and
 // checkpoint rollback — lives in internal/engine; SolveJacobi is a
@@ -27,12 +30,19 @@ import (
 	"repro/internal/jacobi"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
-// Machine is a hypercube of simulated NSC nodes.
+// Machine is an interconnected ensemble of simulated NSC nodes — a
+// hypercube by default, or any fabric from internal/topo.
 type Machine struct {
-	Cfg   arch.Config
-	Dim   int
+	Cfg arch.Config
+	// Dim is ⌈log₂P⌉ — the hypercube dimension when the fabric is the
+	// hypercube, and still the residual-combine round count otherwise.
+	Dim int
+	// Topo is the interconnect the machine is built over; it fixes the
+	// rank embedding, hop metric and collective schedules.
+	Topo  topo.Topology
 	Nodes []*sim.Node
 
 	// CommCycles accumulates router time; MachineCycles accumulates the
@@ -118,12 +128,14 @@ type Machine struct {
 	// completed solves on this machine.
 	RecoveryCounters engine.RecoveryStats
 
-	// pairs holds the parity classes of the ring-exchange pairs,
-	// recomputed whenever the live rank count changes.
-	pairs [2][]int
+	// pairs holds the parity classes of the ring-exchange pairs and
+	// combineHops the per-round residual-combine pricing, both from the
+	// topology, recomputed whenever the live rank count changes.
+	pairs       [2][]int
+	combineHops []int
 
 	// ring[r] is the live node serving ring rank r and ringAddr[r] its
-	// hypercube address — the Gray code at construction, so neighbours
+	// physical address — Topo.Addr(r) at construction, so neighbours
 	// are one hop apart. Recovery edits these in place: a spare takes
 	// over the dead slot (same address), a shrink deletes the slot, so
 	// survivors may then sit more than one hop from their new ring
@@ -142,22 +154,47 @@ func New(cfg arch.Config, dim int) (*Machine, error) {
 	if dim < 0 || dim > 10 {
 		return nil, fmt.Errorf("hypercube: dimension %d out of range", dim)
 	}
-	m := &Machine{Cfg: cfg, Dim: dim}
-	for i := 0; i < 1<<uint(dim); i++ {
+	t, err := topo.NewHypercube(dim)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithTopology(cfg, t)
+}
+
+// NewWithTopology builds a machine of t.P() nodes over an arbitrary
+// fabric. The topology fixes which physical node serves each ring rank,
+// the exchange-pair schedule and the combine-tree pricing; the solver
+// data movement is identical across fabrics, so results are bit for bit
+// the same and only the simulated comm clocks differ.
+func NewWithTopology(cfg arch.Config, t topo.Topology) (*Machine, error) {
+	if t == nil {
+		return nil, fmt.Errorf("hypercube: nil topology")
+	}
+	p := t.P()
+	if p < 1 || p > 1<<10 {
+		return nil, fmt.Errorf("hypercube: %s node count %d out of range", t.Name(), p)
+	}
+	m := &Machine{Cfg: cfg, Dim: ringDim(p), Topo: t}
+	for i := 0; i < p; i++ {
 		n, err := sim.NewNode(cfg)
 		if err != nil {
 			return nil, err
 		}
 		m.Nodes = append(m.Nodes, n)
 	}
-	p := len(m.Nodes)
 	m.ring = make([]*sim.Node, p)
 	m.ringAddr = make([]int, p)
 	for r := 0; r < p; r++ {
-		m.ring[r] = m.Nodes[GrayRank(r)]
-		m.ringAddr[r] = GrayRank(r)
+		a := t.Addr(r)
+		if a < 0 || a >= p {
+			return nil, fmt.Errorf("hypercube: %s embeds rank %d at address %d outside %d nodes",
+				t.Name(), r, a, p)
+		}
+		m.ring[r] = m.Nodes[a]
+		m.ringAddr[r] = a
 	}
-	m.pairs = [2][]int{engine.PairsOfParity(p, 0), engine.PairsOfParity(p, 1)}
+	m.pairs = t.ExchangeSchedule(p)
+	m.combineHops = t.CombineSteps(m.ringAddr)
 	return m, nil
 }
 
@@ -181,8 +218,8 @@ func (m *Machine) checkNode(what string, r int) error {
 	return nil
 }
 
-// Hops returns the e-cube path length between two nodes (physical
-// hypercube addresses), rejecting out-of-range ranks.
+// Hops returns the fabric's shortest-path length between two nodes
+// (physical addresses), rejecting out-of-range ranks.
 func (m *Machine) Hops(from, to int) (int, error) {
 	if err := m.checkNode("hops from", from); err != nil {
 		return 0, err
@@ -190,29 +227,28 @@ func (m *Machine) Hops(from, to int) (int, error) {
 	if err := m.checkNode("hops to", to); err != nil {
 		return 0, err
 	}
-	return hops(from, to), nil
+	return m.hopsAddr(from, to), nil
 }
 
-// hops is Hops for ranks already validated.
-func hops(from, to int) int { return bits.OnesCount(uint(from ^ to)) }
+// hopsAddr is Hops for physical addresses already validated — the
+// machine validates every live address at construction and on every
+// recovery, so a topology error here is a bug, not an input error.
+func (m *Machine) hopsAddr(from, to int) int {
+	h, err := m.Topo.Hops(from, to)
+	if err != nil {
+		panic(fmt.Sprintf("hypercube: validated address failed topology metric: %v", err))
+	}
+	return h
+}
 
-// Route returns the e-cube path from one node to another, resolving
-// address bits lowest-dimension first. Out-of-range ranks are rejected
-// with an error.
+// Route returns the fabric's deterministic minimal path from one node
+// to another (e-cube on the hypercube, dimension-order on the
+// lattices). Out-of-range ranks are rejected with an error.
 func (m *Machine) Route(from, to int) ([]int, error) {
 	if from < 0 || from >= len(m.Nodes) || to < 0 || to >= len(m.Nodes) {
 		return nil, fmt.Errorf("hypercube: route %d->%d outside %d nodes", from, to, len(m.Nodes))
 	}
-	path := []int{from}
-	cur := from
-	for d := 0; d < m.Dim; d++ {
-		bit := 1 << uint(d)
-		if cur&bit != to&bit {
-			cur ^= bit
-			path = append(path, cur)
-		}
-	}
-	return path, nil
+	return m.Topo.Route(from, to)
 }
 
 // SendCost models one message: per-hop router latency plus
@@ -256,7 +292,7 @@ func (m *Machine) copyPayload(fromNode, fromPlane int, fromAddr int64,
 		return 0, err
 	}
 	return m.transfer(m.Nodes[fromNode], fromPlane, fromAddr,
-		m.Nodes[toNode], toPlane, toAddr, count, hops(fromNode, toNode))
+		m.Nodes[toNode], toPlane, toAddr, count, m.hopsAddr(fromNode, toNode))
 }
 
 // transfer moves count words between two nodes' planes and prices the
@@ -276,20 +312,34 @@ func (m *Machine) transfer(from *sim.Node, fromPlane int, fromAddr int64,
 }
 
 // fabric adapts the Machine to engine.Fabric: engine ring ranks map to
-// live boards through the machine's ring table — the Gray code at
-// construction, so ring neighbours are one hop apart, and whatever
-// recovery left behind after a permanent node loss — and the clocks
-// land on the machine's counters.
+// live boards through the machine's ring table — the topology's
+// embedding at construction, so ring neighbours are one hop apart, and
+// whatever recovery left behind after a permanent node loss — and the
+// clocks land on the machine's counters.
 type fabric struct{ m *Machine }
 
-func (f fabric) P() int               { return len(f.m.ring) }
-func (f fabric) Dim() int             { return ringDim(len(f.m.ring)) }
-func (f fabric) Node(r int) *sim.Node { return f.m.ring[r] }
-func (f fabric) WordBytes() int       { return f.m.Cfg.WordBytes }
+func (f fabric) P() int                  { return len(f.m.ring) }
+func (f fabric) Topology() string        { return f.m.Topo.Name() }
+func (f fabric) ExchangePairs() [2][]int { return f.m.pairs }
+func (f fabric) CombineHops() []int      { return f.m.combineHops }
+func (f fabric) Node(r int) *sim.Node    { return f.m.ring[r] }
+func (f fabric) WordBytes() int          { return f.m.Cfg.WordBytes }
 func (f fabric) SendCost(bytes int64, h int) int64 {
 	return f.m.SendCost(bytes, h)
 }
-func (f fabric) Hops(from, to int) int { return hops(f.m.ringAddr[from], f.m.ringAddr[to]) }
+
+// Hops implements engine.Fabric over live ring ranks. The engine
+// validates the partition and the exchange schedule against P when a
+// loop starts, so every rank reaching here is live; per the Fabric
+// contract a violation is a caller bug and panics rather than silently
+// pricing a message to a node that does not exist.
+func (f fabric) Hops(from, to int) int {
+	p := len(f.m.ring)
+	if from < 0 || from >= p || to < 0 || to >= p {
+		panic(fmt.Sprintf("hypercube: fabric hops %d->%d outside %d live ranks", from, to, p))
+	}
+	return f.m.hopsAddr(f.m.ringAddr[from], f.m.ringAddr[to])
+}
 func (f fabric) Copy(fromRank, fromPlane int, fromAddr int64,
 	toRank, toPlane int, toAddr int64, count int) (int64, error) {
 	return f.m.transfer(f.m.ring[fromRank], fromPlane, fromAddr,
@@ -512,6 +562,7 @@ func (m *Machine) snapshot(it int, part *engine.Partition, global *jacobi.Proble
 	nn := global.N * global.N
 	ck := &Checkpoint{
 		Sweep: it, P: part.P, N: global.N, Nz: global.Nz,
+		Topology:      m.Topo.Name(),
 		Residuals:     append([]float64(nil), series...),
 		MachineCycles: m.MachineCycles,
 		CommCycles:    m.CommCycles,
@@ -555,6 +606,10 @@ func (m *Machine) snapshot(it int, part *engine.Partition, global *jacobi.Proble
 // mismatched file must fail with a clear error, never an index panic
 // or a partial restore.
 func (m *Machine) ValidateCheckpoint(ck *Checkpoint) error {
+	if ck.Topology != "" && ck.Topology != m.Topo.Name() {
+		return fmt.Errorf("hypercube: checkpoint recorded topology %q, machine runs %q",
+			ck.Topology, m.Topo.Name())
+	}
 	if ck.P > m.P() {
 		return fmt.Errorf("hypercube: checkpoint declares %d ranks, machine has %d nodes", ck.P, m.P())
 	}

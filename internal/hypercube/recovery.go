@@ -105,7 +105,8 @@ func (m *Machine) RecoverRanks(dead []int) (spared, shrunk int, err error) {
 		return spared, shrunk, fmt.Errorf("hypercube: no surviving ranks")
 	}
 	np := len(m.ring)
-	m.pairs = [2][]int{engine.PairsOfParity(np, 0), engine.PairsOfParity(np, 1)}
+	m.pairs = m.Topo.ExchangeSchedule(np)
+	m.combineHops = m.Topo.CombineSteps(m.ringAddr)
 	m.ArmObs()
 	return spared, shrunk, nil
 }
@@ -249,7 +250,7 @@ func (s *jacobiSolve) buddyEvery() int {
 func (s *jacobiSolve) engineConfig(startSweep int, series []float64, skipAt int) *engine.Config {
 	m := s.m
 	cfg := &engine.Config{
-		Fabric: m.Fabric(), Part: s.part, Workers: m.Workers, Pairs: m.pairs,
+		Fabric: m.Fabric(), Part: s.part, Workers: m.Workers,
 		Faults: m.Faults, Retry: m.Retry, SerialExchange: m.SerialExchange,
 		Obs: m.Obs, Observe: m.Observe,
 		ResidualFU: arch.FUID(11), // T4 slot 2 under the default triplet layout

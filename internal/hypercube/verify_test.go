@@ -20,7 +20,7 @@ func tinyCheckpoint() *Checkpoint {
 		return g
 	}
 	ck := &Checkpoint{
-		Sweep: 3, P: 2, N: 2, Nz: 6, Slab: 2,
+		Sweep: 3, Topology: "hypercube", P: 2, N: 2, Nz: 6, Slab: 2,
 		Residuals:     []float64{1.5, 0.75, 0.25},
 		MachineCycles: 1000, CommCycles: 200,
 		FaultFired: []int64{1, 0},

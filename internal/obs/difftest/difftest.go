@@ -24,6 +24,7 @@ import (
 	"repro/internal/multigrid"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // Signature is the deterministic fingerprint of one solve: everything
@@ -32,6 +33,8 @@ type Signature struct {
 	// Series is the solve's residual history, compared bit for bit
 	// (math.Float64bits, not approximate equality).
 	Series []float64
+	// U is the assembled solution field, also compared bit for bit.
+	U []float64
 	// MachineCycles / CommCycles are the machine's simulated clocks.
 	MachineCycles int64
 	CommCycles    int64
@@ -55,10 +58,12 @@ func FilterMetrics(totals map[string]int64) map[string]int64 {
 	return out
 }
 
-// Diff compares two Signatures bit for bit and reports the first
-// discrepancy, or nil when they are identical. The labels name the two
-// runs in the error message ("workers=1" vs "workers=8", say).
-func Diff(labelA string, a *Signature, labelB string, b *Signature) error {
+// SameSolution compares only the solver outcome of two Signatures —
+// residual series and solution field, bit for bit — ignoring clocks
+// and metrics. This is the topology-invariance contract: different
+// fabrics legitimately price communication differently, but must move
+// the same bits.
+func SameSolution(labelA string, a *Signature, labelB string, b *Signature) error {
 	if len(a.Series) != len(b.Series) {
 		return fmt.Errorf("residual series length: %s has %d, %s has %d",
 			labelA, len(a.Series), labelB, len(b.Series))
@@ -68,6 +73,26 @@ func Diff(labelA string, a *Signature, labelB string, b *Signature) error {
 			return fmt.Errorf("residual[%d]: %s %.17g != %s %.17g",
 				i, labelA, a.Series[i], labelB, b.Series[i])
 		}
+	}
+	if len(a.U) != len(b.U) {
+		return fmt.Errorf("solution size: %s has %d words, %s has %d",
+			labelA, len(a.U), labelB, len(b.U))
+	}
+	for i := range a.U {
+		if math.Float64bits(a.U[i]) != math.Float64bits(b.U[i]) {
+			return fmt.Errorf("solution[%d]: %s %.17g != %s %.17g",
+				i, labelA, a.U[i], labelB, b.U[i])
+		}
+	}
+	return nil
+}
+
+// Diff compares two Signatures bit for bit and reports the first
+// discrepancy, or nil when they are identical. The labels name the two
+// runs in the error message ("workers=1" vs "workers=8", say).
+func Diff(labelA string, a *Signature, labelB string, b *Signature) error {
+	if err := SameSolution(labelA, a, labelB, b); err != nil {
+		return err
 	}
 	if a.MachineCycles != b.MachineCycles {
 		return fmt.Errorf("machine cycles: %s %d != %s %d",
@@ -166,11 +191,27 @@ func slabProblem(p int) *jacobi.Problem {
 	return g
 }
 
-// jacobiSignature runs a distributed Jacobi solve with the obs layer
-// armed and fingerprints it. configure mutates the machine before the
-// solve (fault plans, trap policy, ECC injection, schedule knobs).
+// newMachine builds the harness's 8-node machine over the named
+// fabric ("hypercube", "mesh2d", "torus2d").
+func newMachine(topology string) (*hypercube.Machine, error) {
+	t, err := topo.New(topology, 8)
+	if err != nil {
+		return nil, err
+	}
+	return hypercube.NewWithTopology(smallCfg(), t)
+}
+
+// jacobiSignature runs a distributed Jacobi solve on the hypercube
+// with the obs layer armed and fingerprints it. configure mutates the
+// machine before the solve (fault plans, trap policy, ECC injection,
+// schedule knobs).
 func jacobiSignature(workers int, configure func(*hypercube.Machine) error) (*Signature, error) {
-	m, err := hypercube.New(smallCfg(), 3)
+	return jacobiSignatureOn("hypercube", workers, configure)
+}
+
+// jacobiSignatureOn is jacobiSignature over an arbitrary fabric.
+func jacobiSignatureOn(topology string, workers int, configure func(*hypercube.Machine) error) (*Signature, error) {
+	m, err := newMachine(topology)
 	if err != nil {
 		return nil, err
 	}
@@ -189,6 +230,7 @@ func jacobiSignature(workers int, configure func(*hypercube.Machine) error) (*Si
 	}
 	return &Signature{
 		Series:        res.ResidualSeries,
+		U:             res.U,
 		MachineCycles: m.MachineCycles,
 		CommCycles:    m.CommCycles,
 		Metrics:       FilterMetrics(o.Reg.Totals()),
@@ -311,6 +353,7 @@ func Scenarios() []Scenario {
 				}
 				return &Signature{
 					Series:        r.ResidualSeries,
+					U:             r.U,
 					MachineCycles: m.MachineCycles,
 					CommCycles:    m.CommCycles,
 					Metrics:       FilterMetrics(o.Reg.Totals()),
@@ -360,6 +403,90 @@ func Scenarios() []Scenario {
 				}
 				return &Signature{
 					Series:        r.ResidualSeries,
+					U:             r.U,
+					MachineCycles: m.MachineCycles,
+					CommCycles:    m.CommCycles,
+					Metrics:       FilterMetrics(o.Reg.Totals()),
+				}, nil
+			},
+		},
+	}
+}
+
+// Topologies lists the fabrics the topology battery covers — every
+// name internal/topo ships.
+func Topologies() []string { return topo.Names() }
+
+// TopologyBattery returns the scenario battery for one fabric: the
+// clean solve, both degraded-recovery paths (kill absorbed by a spare,
+// kill absorbed by a shrinking re-partition) and the distributed
+// multigrid. Within a fabric every Signature must be
+// worker-count-invariant (Check); across fabrics the same scenario
+// must produce the same solution bits (SameSolution) while the clocks
+// legitimately differ.
+func TopologyBattery(topology string) []Scenario {
+	return []Scenario{
+		{
+			Name: "jacobi/clean@" + topology,
+			Run: func(workers int) (*Signature, error) {
+				return jacobiSignatureOn(topology, workers, nil)
+			},
+		},
+		{
+			Name: "jacobi/degraded-spare@" + topology,
+			Run: func(workers int) (*Signature, error) {
+				return jacobiSignatureOn(topology, workers, func(m *hypercube.Machine) error {
+					m.Faults = hypercube.MustFaultPlan(hypercube.FaultEvent{
+						Sweep: 3, Phase: hypercube.PhaseDispatch, Rank: 1,
+						Kind: hypercube.FaultKillForever,
+					})
+					return m.AddSpares(1)
+				})
+			},
+		},
+		{
+			Name: "jacobi/degraded-shrink@" + topology,
+			Run: func(workers int) (*Signature, error) {
+				return jacobiSignatureOn(topology, workers, func(m *hypercube.Machine) error {
+					m.Faults = hypercube.MustFaultPlan(hypercube.FaultEvent{
+						Sweep: 3, Phase: hypercube.PhaseDispatch, Rank: 2,
+						Kind: hypercube.FaultKillForever,
+					})
+					return nil
+				})
+			},
+		},
+		{
+			Name: "multigrid/distributed@" + topology,
+			Run: func(workers int) (*Signature, error) {
+				m, err := newMachine(topology)
+				if err != nil {
+					return nil, err
+				}
+				m.Workers = workers
+				o := obs.New()
+				m.Obs = o
+				m.ArmObs()
+				d, err := multigrid.NewDistributed(multigrid.DistConfig{
+					Fabric:    m.Fabric(),
+					Cfg:       smallCfg(),
+					N:         17,
+					Levels:    2,
+					Tol:       1e-6,
+					MaxCycles: 100,
+					Workers:   workers,
+					Obs:       o,
+				})
+				if err != nil {
+					return nil, err
+				}
+				r, err := d.Run()
+				if err != nil {
+					return nil, err
+				}
+				return &Signature{
+					Series:        r.ResidualSeries,
+					U:             r.U,
 					MachineCycles: m.MachineCycles,
 					CommCycles:    m.CommCycles,
 					Metrics:       FilterMetrics(o.Reg.Totals()),

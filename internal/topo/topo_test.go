@@ -1,0 +1,434 @@
+package topo
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// fabrics returns one instance of every shipped topology at a spread of
+// node counts, including non-square grids and single-node machines.
+func fabrics(t *testing.T) map[string]Topology {
+	t.Helper()
+	out := map[string]Topology{}
+	for _, dim := range []int{0, 1, 2, 3, 4} {
+		h, err := NewHypercube(dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["hypercube/dim"+string(rune('0'+dim))] = h
+	}
+	for _, shape := range [][2]int{{1, 1}, {1, 5}, {2, 3}, {2, 4}, {3, 3}, {4, 4}} {
+		m, err := NewMesh2D(shape[0], shape[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["mesh2d/"+m.Shape()] = m
+		tor, err := NewTorus2D(shape[0], shape[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["torus2d/"+tor.Shape()] = tor
+	}
+	return out
+}
+
+// pristineAddrs returns the construction-time embedding addrs[r] =
+// Addr(r).
+func pristineAddrs(tp Topology) []int {
+	addrs := make([]int, tp.P())
+	for r := range addrs {
+		addrs[r] = tp.Addr(r)
+	}
+	return addrs
+}
+
+// TestTopologyProperties pins the embedding invariants the engine's
+// cost model relies on, for every fabric: Addr is a bijection inverted
+// by RankOf, ring neighbours sit one hop apart, routes are minimal,
+// in-bounds and single-step, and the exchange schedule covers each
+// ring edge exactly once per sweep.
+func TestTopologyProperties(t *testing.T) {
+	for name, tp := range fabrics(t) {
+		t.Run(name, func(t *testing.T) {
+			p := tp.P()
+
+			// Addr bijection, inverted by RankOf.
+			seen := make(map[int]bool, p)
+			for r := 0; r < p; r++ {
+				a := tp.Addr(r)
+				if a < 0 || a >= p {
+					t.Fatalf("Addr(%d) = %d outside %d nodes", r, a, p)
+				}
+				if seen[a] {
+					t.Fatalf("Addr maps two ranks to address %d", a)
+				}
+				seen[a] = true
+				back, err := tp.RankOf(a)
+				if err != nil || back != r {
+					t.Fatalf("RankOf(Addr(%d)) = %d, %v", r, back, err)
+				}
+			}
+
+			// Ring neighbours are one hop apart on the pristine embedding.
+			for r := 0; r+1 < p; r++ {
+				h, err := tp.Hops(tp.Addr(r), tp.Addr(r+1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if h != 1 {
+					t.Errorf("ranks %d,%d embed %d hops apart, want 1", r, r+1, h)
+				}
+			}
+
+			// Random pairs: route length matches Hops, stays in-bounds,
+			// and every step is a single hop.
+			rng := rand.New(rand.NewSource(int64(p)*37 + 1))
+			for trial := 0; trial < 200; trial++ {
+				a, b := rng.Intn(p), rng.Intn(p)
+				h, err := tp.Hops(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				path, err := tp.Route(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(path)-1 != h {
+					t.Fatalf("route %d->%d has %d steps, Hops says %d", a, b, len(path)-1, h)
+				}
+				if path[0] != a || path[len(path)-1] != b {
+					t.Fatalf("route %d->%d runs %v", a, b, path)
+				}
+				for i, n := range path {
+					if n < 0 || n >= p {
+						t.Fatalf("route %d->%d leaves the fabric: %v", a, b, path)
+					}
+					if i > 0 {
+						if sh, _ := tp.Hops(path[i-1], n); sh != 1 {
+							t.Fatalf("route %d->%d step %d->%d is %d hops", a, b, path[i-1], n, sh)
+						}
+					}
+				}
+			}
+
+			// Exchange schedule: the two parity classes cover each ring
+			// edge exactly once, and no rank appears twice in one class.
+			sched := tp.ExchangeSchedule(p)
+			edges := map[int]int{}
+			for parity, class := range sched {
+				inClass := map[int]bool{}
+				for _, r := range class {
+					if r%2 != parity || r < 0 || r+1 >= p {
+						t.Fatalf("class %d holds pair (%d,%d)", parity, r, r+1)
+					}
+					if inClass[r] || inClass[r+1] {
+						t.Fatalf("class %d reuses a rank of pair (%d,%d)", parity, r, r+1)
+					}
+					inClass[r], inClass[r+1] = true, true
+					edges[r]++
+				}
+			}
+			for r := 0; r+1 < p; r++ {
+				if edges[r] != 1 {
+					t.Errorf("ring edge (%d,%d) scheduled %d times, want once", r, r+1, edges[r])
+				}
+			}
+
+			// Out-of-range addresses are rejected, never silently priced.
+			for _, bad := range []int{-1, p} {
+				if _, err := tp.Hops(bad, 0); err == nil {
+					t.Errorf("Hops(%d,0) accepted", bad)
+				}
+				if _, err := tp.Hops(0, bad); err == nil {
+					t.Errorf("Hops(0,%d) accepted", bad)
+				}
+				if _, err := tp.Route(bad, 0); err == nil {
+					t.Errorf("Route(%d,0) accepted", bad)
+				}
+				if _, err := tp.Route(0, bad); err == nil {
+					t.Errorf("Route(0,%d) accepted", bad)
+				}
+				if _, err := tp.RankOf(bad); err == nil {
+					t.Errorf("RankOf(%d) accepted", bad)
+				}
+			}
+		})
+	}
+}
+
+// applyRounds executes a collective schedule the way the machine does:
+// per round, read a snapshot, then run every edge off it.
+func applyRounds(t *testing.T, rounds []Round, vals []float64, op func(a, b float64) float64) []float64 {
+	t.Helper()
+	cur := append([]float64(nil), vals...)
+	for _, rd := range rounds {
+		snap := append([]float64(nil), cur...)
+		for _, e := range rd.Edges {
+			if e.Src < 0 || e.Src >= len(cur) || e.Dst < 0 || e.Dst >= len(cur) {
+				t.Fatalf("edge %+v outside %d ranks", e, len(cur))
+			}
+			if rd.Copy {
+				cur[e.Dst] = snap[e.Src]
+			} else {
+				cur[e.Dst] = op(snap[e.Dst], snap[e.Src])
+			}
+		}
+	}
+	return cur
+}
+
+// TestCollectiveTrees checks, for every fabric, that the all-reduce
+// tree leaves every rank holding the global combination and the
+// broadcast tree propagates any root's value everywhere — including
+// the non-power-of-two rank counts a shrink leaves behind.
+func TestCollectiveTrees(t *testing.T) {
+	for name, tp := range fabrics(t) {
+		t.Run(name, func(t *testing.T) {
+			addrs := pristineAddrs(tp)
+			p := len(addrs)
+			vals := make([]float64, p)
+			for r := range vals {
+				vals[r] = math.Pow(2, float64(r)) // exact under +
+			}
+			want := 0.0
+			for _, v := range vals {
+				want += v
+			}
+			got := applyRounds(t, tp.AllReduceTree(addrs), vals, func(a, b float64) float64 { return a + b })
+			for r, v := range got {
+				if v != want {
+					t.Fatalf("all-reduce left rank %d with %g, want %g", r, v, want)
+				}
+			}
+			for root := 0; root < p; root++ {
+				rounds, err := tp.BroadcastTree(root, addrs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := applyRounds(t, rounds, vals, nil)
+				for r := range got {
+					if got[r] != vals[root] {
+						t.Fatalf("broadcast from %d left rank %d with %g, want %g", root, r, got[r], vals[root])
+					}
+				}
+				for _, rd := range rounds {
+					if !rd.Copy {
+						t.Fatal("broadcast emitted a combine round")
+					}
+				}
+			}
+			if _, err := tp.BroadcastTree(-1, addrs); err == nil {
+				t.Error("broadcast root -1 accepted")
+			}
+			if _, err := tp.BroadcastTree(p, addrs); err == nil {
+				t.Errorf("broadcast root %d accepted", p)
+			}
+		})
+	}
+}
+
+// TestShrunkenEmbeddings drives the generic trees over the rings
+// recovery produces: a survivor subset of a hypercube's Gray addresses
+// (non-power-of-two, no longer pristine) and a shrunken grid ring.
+func TestShrunkenEmbeddings(t *testing.T) {
+	h, _ := NewHypercube(3)
+	m, _ := NewMesh2D(2, 4)
+	for name, tc := range map[string]struct {
+		tp    Topology
+		addrs []int
+	}{
+		"hypercube-minus-two": {h, []int{0, 1, 3, 7, 5, 4}},
+		"mesh-minus-three":    {m, []int{0, 1, 2, 3, 6}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			n := len(tc.addrs)
+			vals := make([]float64, n)
+			for r := range vals {
+				vals[r] = float64(r + 1)
+			}
+			got := applyRounds(t, tc.tp.AllReduceTree(tc.addrs), vals,
+				func(a, b float64) float64 { return math.Max(a, b) })
+			for r, v := range got {
+				if v != float64(n) {
+					t.Fatalf("all-reduce left rank %d with %g, want %g", r, v, float64(n))
+				}
+			}
+			steps := tc.tp.CombineSteps(tc.addrs)
+			if len(steps) == 0 {
+				t.Fatal("no combine rounds for a multi-rank ring")
+			}
+			for root := 0; root < n; root++ {
+				rounds, err := tc.tp.BroadcastTree(root, tc.addrs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for r, v := range applyRounds(t, rounds, vals, nil) {
+					if v != vals[root] {
+						t.Fatalf("broadcast from %d left rank %d with %g", root, r, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCombineStepsPricing pins the per-topology combine pricing at
+// P=8, the cross-topology clock signal the bench records measure: the
+// hypercube pairs one hop per round unconditionally, the open mesh
+// pays the full lattice distance for the long butterfly pairs, and the
+// torus shortens them by wrapping.
+func TestCombineStepsPricing(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want []int
+	}{
+		{"hypercube", []int{1, 1, 1}},
+		{"mesh2d", []int{1, 2, 4}},
+		{"torus2d", []int{1, 2, 2}},
+	} {
+		tp, err := New(tc.name, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tp.CombineSteps(pristineAddrs(tp))
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s: combine steps %v, want %v", tc.name, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("%s: combine steps %v, want %v", tc.name, got, tc.want)
+			}
+		}
+	}
+	// One rank has nothing to combine.
+	for _, name := range Names() {
+		tp, err := New(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if steps := tp.CombineSteps([]int{0}); len(steps) != 0 {
+			t.Errorf("%s: single-rank combine steps %v", name, steps)
+		}
+		if rounds := tp.AllReduceTree([]int{0}); len(rounds) != 0 {
+			t.Errorf("%s: single-rank all-reduce rounds %v", name, rounds)
+		}
+	}
+	// The hypercube's all-ones pricing holds even for shrunken rings.
+	h, _ := NewHypercube(3)
+	if steps := h.CombineSteps(make([]int, 5)); len(steps) != 3 {
+		t.Errorf("5 survivors price %d combine rounds, want 3", len(steps))
+	}
+}
+
+// TestRoundHopsAreCriticalPath: each round's Hops equals the worst
+// edge's distance under the fabric metric.
+func TestRoundHopsAreCriticalPath(t *testing.T) {
+	for name, tp := range fabrics(t) {
+		addrs := pristineAddrs(tp)
+		rounds := tp.AllReduceTree(addrs)
+		if br, err := tp.BroadcastTree(0, addrs); err == nil {
+			rounds = append(rounds, br...)
+		}
+		for i, rd := range rounds {
+			worst := 0
+			for _, e := range rd.Edges {
+				h, err := tp.Hops(addrs[e.Src], addrs[e.Dst])
+				if err != nil {
+					t.Fatalf("%s round %d: %v", name, i, err)
+				}
+				if h > worst {
+					worst = h
+				}
+			}
+			if rd.Hops != worst {
+				t.Errorf("%s round %d charges %d hops, worst edge is %d", name, i, rd.Hops, worst)
+			}
+		}
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"hypercube": "hypercube", "": "hypercube",
+		"mesh2d": "mesh2d", "mesh": "mesh2d",
+		"torus2d": "torus2d", "torus": "torus2d",
+	} {
+		tp, err := New(name, 8)
+		if err != nil {
+			t.Fatalf("New(%q, 8): %v", name, err)
+		}
+		if tp.Name() != want || tp.P() != 8 {
+			t.Errorf("New(%q, 8) = %s over %d nodes", name, tp.Name(), tp.P())
+		}
+	}
+	if _, err := New("ring", 8); err == nil || !strings.Contains(err.Error(), "unknown topology") {
+		t.Errorf("unknown name: %v", err)
+	}
+	if _, err := New("hypercube", 6); err == nil || !strings.Contains(err.Error(), "power-of-two") {
+		t.Errorf("non-power-of-two hypercube: %v", err)
+	}
+	if _, err := NewHypercube(11); err == nil {
+		t.Error("dimension 11 accepted")
+	}
+	if _, err := NewHypercube(-1); err == nil {
+		t.Error("dimension -1 accepted")
+	}
+	if _, err := NewMesh2D(0, 4); err == nil {
+		t.Error("0-row mesh accepted")
+	}
+	if _, err := NewTorus2D(1, 1<<11); err == nil {
+		t.Error("oversized torus accepted")
+	}
+	if got := Names(); len(got) != 3 {
+		t.Errorf("Names() = %v", got)
+	}
+}
+
+func TestNearSquare(t *testing.T) {
+	for _, tc := range []struct{ p, rows, cols int }{
+		{1, 1, 1}, {2, 1, 2}, {4, 2, 2}, {6, 2, 3}, {8, 2, 4},
+		{16, 4, 4}, {12, 3, 4}, {7, 1, 7}, {0, 1, 1},
+	} {
+		if r, c := nearSquare(tc.p); r != tc.rows || c != tc.cols {
+			t.Errorf("nearSquare(%d) = %d×%d, want %d×%d", tc.p, r, c, tc.rows, tc.cols)
+		}
+	}
+}
+
+func TestShapesAndGray(t *testing.T) {
+	h, _ := NewHypercube(3)
+	if h.Shape() != "dim 3" || h.Dim() != 3 {
+		t.Errorf("hypercube shape %q dim %d", h.Shape(), h.Dim())
+	}
+	m, _ := NewMesh2D(2, 4)
+	if m.Shape() != "2×4" || m.Rows() != 2 || m.Cols() != 4 {
+		t.Errorf("mesh shape %q", m.Shape())
+	}
+	for r := 0; r < 16; r++ {
+		if g := Gray(r); r > 0 && popcount(g^Gray(r-1)) != 1 {
+			t.Errorf("Gray(%d)=%d and Gray(%d)=%d differ in several bits", r, g, r-1, Gray(r-1))
+		}
+	}
+}
+
+func popcount(x int) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// TestInvalidEmbeddingPanics: schedule building over an embedding with
+// out-of-range addresses is a caller bug and must panic loudly.
+func TestInvalidEmbeddingPanics(t *testing.T) {
+	m, _ := NewMesh2D(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid embedding priced silently")
+		}
+	}()
+	m.AllReduceTree([]int{0, 99, 2, 3})
+}
