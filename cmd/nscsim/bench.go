@@ -21,22 +21,25 @@ import (
 // -bench-json runs the repo's headline performance probes through
 // testing.Benchmark and emits machine-readable results, so a CI step
 // (or a developer) can track the numbers without the go test bench
-// harness. Each record carries ns/op plus probe-specific metrics;
-// BENCH_PR4.json in the repo root is a committed reference run.
+// harness. Each record carries ns/op and allocs/op plus
+// probe-specific metrics; the BENCH_PR*.json files in the repo root
+// are committed reference runs.
 
 type benchRecord struct {
-	Name    string             `json:"name"`
-	Iters   int                `json:"iterations"`
-	NsPerOp float64            `json:"ns_per_op"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Name        string             `json:"name"`
+	Iters       int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 func record(name string, r testing.BenchmarkResult, metrics map[string]float64) benchRecord {
 	return benchRecord{
-		Name:    name,
-		Iters:   r.N,
-		NsPerOp: float64(r.T.Nanoseconds()) / float64(r.N),
-		Metrics: metrics,
+		Name:        name,
+		Iters:       r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+		Metrics:     metrics,
 	}
 }
 
@@ -154,6 +157,54 @@ func runBenchJSON(stdout io.Writer, cfg arch.Config) error {
 			"plan_misses":  float64(pc.Misses),
 			"plan_entries": float64(pc.Entries),
 		}))
+	}
+
+	// Kernel execution: the same warm compiled pipeline dispatched
+	// through the specialized kernel (the default) and pinned to the
+	// reference interpreter. The results are bit-identical — only the
+	// host time and the allocation count move, and the fast path must
+	// sit at zero allocs/op.
+	{
+		var nsPer [2]float64
+		for i, mode := range []struct {
+			name string
+			off  bool
+		}{{"kernel-exec/warm", false}, {"kernel-exec/interp", true}} {
+			node, err := sim.NewNode(cfg)
+			if err != nil {
+				return err
+			}
+			node.KernelOff = mode.off
+			p := jacobi.NewModelProblem(12, 1e-6, 1)
+			doc, _, err := p.BuildDocument(cfg)
+			if err != nil {
+				return err
+			}
+			in, _, err := codegen.New(node.Inv).Pipeline(doc, doc.Pipes[0])
+			if err != nil {
+				return err
+			}
+			if err := p.Load(node); err != nil {
+				return err
+			}
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := node.Exec(in); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			nsPer[i] = float64(r.T.Nanoseconds()) / float64(r.N)
+			ks := node.KernelStatsOf()
+			m := map[string]float64{
+				"kernel_fast": float64(ks.Fast),
+				"kernel_slow": float64(ks.Slow),
+			}
+			if mode.off {
+				m["slowdown"] = nsPer[1] / nsPer[0]
+			}
+			out = append(out, record(mode.name, r, m))
+		}
 	}
 
 	// Trap overhead: the same instruction with exception detection off

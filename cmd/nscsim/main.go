@@ -53,6 +53,14 @@
 // harness and emits one JSON record per probe; BENCH_PR4.json in the
 // repo root is a committed reference run.
 //
+// -no-kernel pins every node to the reference interpreter instead of
+// the specialized execution kernels the plan compiler lowers by
+// default. Results are bit-identical either way — the differential
+// suite pins that — so the flag exists for A/B timing and for
+// isolating a suspected kernel miscompile. -cpuprofile and
+// -memprofile write pprof profiles of the host process (the CPU
+// profile brackets the whole run; the heap profile is taken on exit).
+//
 // -metrics-json and -trace-out arm the unified observability layer on
 // the run (both -prog and -jacobi): after execution, -metrics-json
 // writes the metrics registry (counters, gauges, log₂ histograms) as
@@ -71,6 +79,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -116,6 +126,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	eccFaults := fs.String("ecc-faults", "", "seed ECC events for -jacobi: rank:plane:addr:{single|double},...")
 	verifyCk := fs.String("verify-checkpoint", "", "verify a snapshot file's section checksums and exit")
 	benchJSON := fs.Bool("bench-json", false, "run the performance probes and emit JSON records")
+	noKernel := fs.Bool("no-kernel", false, "pin every node to the reference interpreter (disable specialized kernels)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	metricsJSON := fs.String("metrics-json", "", "write the run's metrics registry as JSON to this file (- = stdout)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event file for chrome://tracing / Perfetto (- = stdout)")
 	var loads, dumps multi
@@ -128,6 +141,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg := arch.Default()
 	if *subset {
 		cfg = arch.Subset()
+	}
+
+	// Profiling taps: the CPU profile brackets everything after flag
+	// parsing, the heap profile snapshots the retained set on exit.
+	// Both capture host-side cost only — the simulation itself is
+	// deterministic with or without them.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "nscsim:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "nscsim:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(stderr, "nscsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "nscsim:", err)
+			}
+		}()
 	}
 
 	if *benchJSON {
@@ -164,7 +212,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *jacobiN > 0 {
-		err := runJacobi(stdout, cfg, *jacobiN, *cubeDim, *topology, *sweeps, *faults, *kill, *spares, *ckEvery, *ckPath, *restore, trap, *eccFaults, o)
+		err := runJacobi(stdout, cfg, *jacobiN, *cubeDim, *topology, *sweeps, *faults, *kill, *spares, *ckEvery, *ckPath, *restore, trap, *eccFaults, *noKernel, o)
 		if err == nil {
 			err = o.WriteFiles(stdout, *metricsJSON, *traceOut)
 		}
@@ -196,6 +244,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		n.TrapCfg = trap
+		n.KernelOff = *noKernel
 		n.Obs = o
 		n.ObsID = i
 		nodes[i] = n
@@ -300,7 +349,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // runJacobi drives the multi-node solver with the robustness knobs.
 func runJacobi(stdout io.Writer, cfg arch.Config, n, dim int, topology string, sweeps int,
 	faultSpec, killSpec string, spares, ckEvery int, ckPath, restore string,
-	trap arch.TrapConfig, eccSpec string, o *obs.Obs) error {
+	trap arch.TrapConfig, eccSpec string, noKernel bool, o *obs.Obs) error {
 	if dim < 0 || dim > 10 {
 		return fmt.Errorf("hypercube: dimension %d out of range", dim)
 	}
@@ -317,6 +366,7 @@ func runJacobi(stdout io.Writer, cfg arch.Config, n, dim int, topology string, s
 	m.StopAfter = sweeps
 	m.CheckpointEvery = ckEvery
 	m.Trap = trap
+	m.NoKernel = noKernel
 	if spares > 0 {
 		if err := m.AddSpares(spares); err != nil {
 			return err

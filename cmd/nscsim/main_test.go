@@ -318,6 +318,52 @@ func TestBenchJSONGolden(t *testing.T) {
 	}
 }
 
+// TestProfileFlagsSmoke: -cpuprofile and -memprofile write non-empty
+// pprof files and leave the report byte-identical to the unprofiled
+// run — the taps observe the host process, never the simulation.
+func TestProfileFlagsSmoke(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	plain, _, _ := runCLI(t, "-jacobi", "8", "-cube", "1", "-sweeps", "4")
+	profiled, stderr, code := runCLI(t,
+		"-jacobi", "8", "-cube", "1", "-sweeps", "4", "-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if profiled != plain {
+		t.Errorf("profiling changed the report:\n%s\n%s", profiled, plain)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s: empty profile", p)
+		}
+	}
+
+	// An unwritable profile path is a run error, not a silent no-op.
+	if _, _, code := runCLI(t, "-jacobi", "8", "-cube", "1", "-sweeps", "2",
+		"-cpuprofile", filepath.Join(dir, "no", "such", "dir", "cpu.pprof")); code == 0 {
+		t.Error("unwritable -cpuprofile exited 0")
+	}
+}
+
+// TestNoKernelFlagCLI: -no-kernel pins the interpreter and changes
+// nothing observable in the report — the kernel contract at CLI level.
+func TestNoKernelFlagCLI(t *testing.T) {
+	kernel, _, _ := runCLI(t, "-jacobi", "8", "-cube", "1", "-sweeps", "6")
+	interp, stderr, code := runCLI(t, "-jacobi", "8", "-cube", "1", "-sweeps", "6", "-no-kernel")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if interp != kernel {
+		t.Errorf("-no-kernel changed the report:\n%s\n%s", interp, kernel)
+	}
+}
+
 func TestTrapFlagErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{"-jacobi", "8", "-trap-policy", "panic"},          // unknown policy

@@ -150,6 +150,26 @@ func TestDifferentialTopology(t *testing.T) {
 	}
 }
 
+// TestDifferentialKernel pins the specialized-kernel contract on every
+// fabric: each battery scenario — clean Jacobi, trap-armed ECC retry,
+// spare-absorbed node loss, distributed multigrid — is solved with the
+// execution kernels on and with every node pinned to the reference
+// interpreter, and the two Signatures must agree everywhere outside
+// the sim.kernel.* path counters. Check then climbs the worker ladder
+// on the kernels-on runs, so kernel dispatch is also proven
+// worker-count-invariant.
+func TestDifferentialKernel(t *testing.T) {
+	for _, name := range difftest.Topologies() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			if err := difftest.Check(difftest.KernelBattery(name), []int{1, 4}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
 // TestDifferentialDegraded pins the degraded-mode contract against the
 // clean baseline: after a permanent node loss — absorbed by a hot spare
 // or by a shrinking re-partition — the residual series still matches

@@ -767,6 +767,13 @@ func runOnce(cfg *Config, ts0 int64, base FaultStats) (*RunResult, int64, error)
 		return at, nil
 	}
 
+	// One instruction-lookup closure for the whole run: allocating it
+	// per sweep shows up once the dispatch itself stops allocating
+	// (plan cache + specialized kernels make the steady state
+	// alloc-free).
+	sweep := cfg.StartSweep
+	instrAt := func(r int) *microcode.Instr { return cfg.Instr(sweep, r) }
+
 	for it := cfg.StartSweep; it < cfg.MaxSweeps; it++ {
 		// Sweep-boundary snapshot.
 		if cfg.CheckpointEvery > 0 && cfg.Take != nil && it%cfg.CheckpointEvery == 0 && it != skipAt {
@@ -789,7 +796,8 @@ func runOnce(cfg *Config, ts0 int64, base FaultStats) (*RunResult, int64, error)
 			lp.observe("buddy", it, 0)
 		}
 
-		be, err := lp.Dispatch(it, func(r int) *microcode.Instr { return cfg.Instr(it, r) }, cfg.PlaneOf(it))
+		sweep = it
+		be, err := lp.Dispatch(it, instrAt, cfg.PlaneOf(it))
 		if err != nil {
 			var dre *DeadRankError
 			if errors.As(err, &dre) {

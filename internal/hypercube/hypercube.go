@@ -99,6 +99,12 @@ type Machine struct {
 	// exact seed behaviour.
 	Trap arch.TrapConfig
 
+	// NoKernel pins every node to the reference interpreter instead of
+	// the specialized execution kernels (sim.Node.KernelOff). Results
+	// are bit-identical either way; the knob exists for differential
+	// testing and the nscsim -no-kernel escape hatch.
+	NoKernel bool
+
 	// Obs, when non-nil, arms the unified observability layer on every
 	// solve: the engine loop's phase spans and counters land on tracer
 	// shard 0 and each node's dispatch/trap/ECC stream lands on shard
@@ -442,6 +448,7 @@ func (m *Machine) SolveJacobi(global *jacobi.Problem) (*JacobiResult, error) {
 	p := m.P()
 	for _, nd := range m.participants() {
 		nd.TrapCfg = m.Trap
+		nd.KernelOff = m.NoKernel
 	}
 	m.ArmObs()
 	inner := global.Nz - 2

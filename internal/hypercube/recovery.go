@@ -88,6 +88,7 @@ func (m *Machine) RecoverRanks(dead []int) (spared, shrunk int, err error) {
 		sp := m.Spares[0]
 		m.Spares = m.Spares[1:]
 		sp.TrapCfg = m.Trap
+		sp.KernelOff = m.NoKernel
 		m.deadAddrs = append(m.deadAddrs, m.ringAddr[d])
 		m.ring[d] = sp
 		m.activated = append(m.activated, sp)

@@ -94,6 +94,10 @@ type DistConfig struct {
 	// level streams are armed by the fabric's owner
 	// (hypercube.Machine.Obs), not here.
 	Obs *obs.Obs
+	// NoKernel pins every rank to the reference interpreter instead of
+	// the specialized execution kernels (sim.Node.KernelOff). Results
+	// are bit-identical either way.
+	NoKernel bool
 }
 
 // DistResult reports a distributed multigrid solve. Machine clocks
@@ -173,6 +177,7 @@ func (d *Distributed) build() error {
 	// rank touches only its own node and level.
 	if err := engine.ParallelFor(dc.Workers, p, func(r int) error {
 		nd := dc.Fabric.Node(r)
+		nd.KernelOff = dc.NoKernel
 		lv := d.slabs[r]
 		if err := buildLevel(dc.Cfg, codegen.New(nd.Inv), lv, dc.Tol); err != nil {
 			return fmt.Errorf("multigrid: rank %d slab: %w", r, err)

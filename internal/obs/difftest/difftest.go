@@ -58,6 +58,35 @@ func FilterMetrics(totals map[string]int64) map[string]int64 {
 	return out
 }
 
+// StripKernelMetrics removes the execution-path counters
+// (sim.kernel.*) from a Totals map. A kernels-on and an
+// interpreter-pinned run legitimately differ in which dispatch path
+// they took — the kernel contract is that nothing else moves, so those
+// counters are excluded before a kernel-vs-interpreter comparison. The
+// input map is not modified.
+func StripKernelMetrics(totals map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(totals))
+	for k, v := range totals {
+		// Totals keys carry a kind prefix ("counter/sim.kernel.fast").
+		if strings.HasPrefix(k[strings.IndexByte(k, '/')+1:], "sim.kernel.") {
+			continue
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// KernelDiff compares a kernels-on and an interpreter-pinned run of
+// the same scenario bit for bit — solution, residual series, simulated
+// clocks and every metric outside sim.kernel.*.
+func KernelDiff(labelOn string, on *Signature, labelOff string, off *Signature) error {
+	a := *on
+	a.Metrics = StripKernelMetrics(on.Metrics)
+	b := *off
+	b.Metrics = StripKernelMetrics(off.Metrics)
+	return Diff(labelOn, &a, labelOff, &b)
+}
+
 // SameSolution compares only the solver outcome of two Signatures —
 // residual series and solution field, bit for bit — ignoring clocks
 // and metrics. This is the topology-invariance contract: different
@@ -416,6 +445,126 @@ func Scenarios() []Scenario {
 // Topologies lists the fabrics the topology battery covers — every
 // name internal/topo ships.
 func Topologies() []string { return topo.Names() }
+
+// KernelBattery returns the kernel-equivalence scenarios for one
+// fabric. Each Run solves the scenario twice — specialized execution
+// kernels on (the default) and every node pinned to the reference
+// interpreter — and fails unless the two Signatures agree everywhere
+// outside the sim.kernel.* path counters (KernelDiff). The kernels-on
+// Signature is returned, so the battery composes with Check and the
+// worker-count contract rides along for free.
+func KernelBattery(topology string) []Scenario {
+	jacobiPair := func(configure func(*hypercube.Machine) error) func(int) (*Signature, error) {
+		run := func(workers int, noKernel bool) (*Signature, error) {
+			return jacobiSignatureOn(topology, workers, func(m *hypercube.Machine) error {
+				m.NoKernel = noKernel
+				if configure != nil {
+					return configure(m)
+				}
+				return nil
+			})
+		}
+		return func(workers int) (*Signature, error) {
+			on, err := run(workers, false)
+			if err != nil {
+				return nil, err
+			}
+			off, err := run(workers, true)
+			if err != nil {
+				return nil, err
+			}
+			if err := KernelDiff("kernels", on, "interpreter", off); err != nil {
+				return nil, err
+			}
+			return on, nil
+		}
+	}
+	return []Scenario{
+		{
+			// The fault-free baseline: every dispatch kernel-eligible.
+			Name: "kernel/jacobi-clean@" + topology,
+			Run:  jacobiPair(nil),
+		},
+		{
+			// Armed traps plus seeded ECC events force the interpreter on
+			// the affected dispatches even with kernels on; the mixed run
+			// must still match the fully-pinned one.
+			Name: "kernel/jacobi-ecc-retry@" + topology,
+			Run: jacobiPair(func(m *hypercube.Machine) error {
+				m.Trap = arch.TrapConfig{Policy: arch.TrapRetry, MaxRetries: 4}
+				if err := m.InjectECC(1, sim.ECCFault{Plane: 0, Addr: 3}); err != nil {
+					return err
+				}
+				return m.InjectECC(2, sim.ECCFault{Plane: 0, Addr: 5, Double: true})
+			}),
+		},
+		{
+			// A permanent loss absorbed by a spare: the activated spare
+			// must inherit the kernel pin.
+			Name: "kernel/jacobi-degraded-spare@" + topology,
+			Run: jacobiPair(func(m *hypercube.Machine) error {
+				m.Faults = hypercube.MustFaultPlan(hypercube.FaultEvent{
+					Sweep: 3, Phase: hypercube.PhaseDispatch, Rank: 1,
+					Kind: hypercube.FaultKillForever,
+				})
+				return m.AddSpares(1)
+			}),
+		},
+		{
+			// The distributed multigrid engine, pinned through DistConfig.
+			Name: "kernel/multigrid@" + topology,
+			Run: func(workers int) (*Signature, error) {
+				run := func(noKernel bool) (*Signature, error) {
+					m, err := newMachine(topology)
+					if err != nil {
+						return nil, err
+					}
+					m.Workers = workers
+					o := obs.New()
+					m.Obs = o
+					m.ArmObs()
+					d, err := multigrid.NewDistributed(multigrid.DistConfig{
+						Fabric:    m.Fabric(),
+						Cfg:       smallCfg(),
+						N:         17,
+						Levels:    2,
+						Tol:       1e-6,
+						MaxCycles: 100,
+						Workers:   workers,
+						Obs:       o,
+						NoKernel:  noKernel,
+					})
+					if err != nil {
+						return nil, err
+					}
+					r, err := d.Run()
+					if err != nil {
+						return nil, err
+					}
+					return &Signature{
+						Series:        r.ResidualSeries,
+						U:             r.U,
+						MachineCycles: m.MachineCycles,
+						CommCycles:    m.CommCycles,
+						Metrics:       FilterMetrics(o.Reg.Totals()),
+					}, nil
+				}
+				on, err := run(false)
+				if err != nil {
+					return nil, err
+				}
+				off, err := run(true)
+				if err != nil {
+					return nil, err
+				}
+				if err := KernelDiff("kernels", on, "interpreter", off); err != nil {
+					return nil, err
+				}
+				return on, nil
+			},
+		},
+	}
+}
 
 // TopologyBattery returns the scenario battery for one fabric: the
 // clean solve, both degraded-recovery paths (kill absorbed by a spare,

@@ -71,35 +71,49 @@ func (n *Node) run(pl *ExecPlan) error {
 
 	sc := n.scratchFor(pl)
 	detect := pl.trapArmed || tc.Armed()
-	rc := tc.WithDefaults()
-	for attempt := 0; ; attempt++ {
-		tr, err := n.evaluate(pl, sc, detect)
-		if err != nil {
-			return err
+	// Path selection happens once per dispatch: every condition that
+	// could force a per-cycle check (trap detection, armed ECC events,
+	// an attached tracer) is known before cycle 0 streams, so the
+	// specialized kernel runs with those branches hoisted out entirely.
+	// The interpreter below remains the reference semantics and the
+	// only path that can observe a trap.
+	if pl.kern != nil && !detect && n.Tracer == nil && len(n.ecc) == 0 && !n.KernelOff {
+		n.kernelFast++
+		n.Obs.Inc("sim.kernel.fast")
+		n.runKernel(pl, sc)
+	} else {
+		n.kernelSlow++
+		n.Obs.Inc("sim.kernel.slow")
+		rc := tc.WithDefaults()
+		for attempt := 0; ; attempt++ {
+			tr, err := n.evaluate(pl, sc, detect)
+			if err != nil {
+				return err
+			}
+			if tr == nil {
+				break
+			}
+			// Price the aborted attempt: the issue overhead plus every cycle
+			// streamed before the trap fired.
+			wasted := int64(cfg.IssueOverheadCycles) + int64(tr.Cycle) + 1
+			n.Stats.Cycles += wasted
+			if tc.Policy == arch.TrapRetry && tr.Kind != TrapUnknownOp && attempt < rc.MaxRetries {
+				b := rc.Backoff(attempt)
+				n.Stats.Cycles += b
+				n.TrapCounters.Retries++
+				n.TrapCounters.RetryCycles += wasted + b
+				n.Obs.Inc("sim.trap.retries")
+				continue
+			}
+			n.TrapCounters.Halts++
+			n.Obs.Inc("sim.trap.halts")
+			return &TrapError{Trap: *tr, Attempts: attempt + 1}
 		}
-		if tr == nil {
-			break
-		}
-		// Price the aborted attempt: the issue overhead plus every cycle
-		// streamed before the trap fired.
-		wasted := int64(cfg.IssueOverheadCycles) + int64(tr.Cycle) + 1
-		n.Stats.Cycles += wasted
-		if tc.Policy == arch.TrapRetry && tr.Kind != TrapUnknownOp && attempt < rc.MaxRetries {
-			b := rc.Backoff(attempt)
-			n.Stats.Cycles += b
-			n.TrapCounters.Retries++
-			n.TrapCounters.RetryCycles += wasted + b
-			n.Obs.Inc("sim.trap.retries")
-			continue
-		}
-		n.TrapCounters.Halts++
-		n.Obs.Inc("sim.trap.halts")
-		return &TrapError{Trap: *tr, Attempts: attempt + 1}
 	}
 
 	// --- Commit sinks. ---
 	for _, s := range pl.sinks {
-		val := sc.val[s.from]
+		val, _ := sc.lane(pl.T, s.from)
 		for j := int64(0); j < s.count; j++ {
 			c := s.start + int(s.skip+j)
 			var v float64
@@ -120,7 +134,7 @@ func (n *Node) run(pl *ExecPlan) error {
 
 	// --- Reduction registers. ---
 	for _, r := range pl.reduces {
-		if val := sc.val[r.from]; len(val) > 0 {
+		if val, _ := sc.lane(pl.T, r.from); len(val) > 0 {
 			n.RedReg[r.fu] = val[len(val)-1]
 		}
 	}
@@ -199,27 +213,18 @@ func (n *Node) finishInstr(s microcode.Seq, th float64) error {
 // re-dispatched by run. Node state other than trap counters and the
 // IRQ log is untouched on abort — commits happen in run, afterwards.
 func (n *Node) evaluate(pl *ExecPlan, sc *runScratch, detect bool) (*Trap, error) {
-	// Reduction accumulators are per-execution state, not plan state.
-	type redState struct {
-		acc   float64
-		accOK bool
-	}
-	var reds []redState
+	// Reduction accumulators live in the pooled scratch; reset them to
+	// the plan's initial values so a reused scratch starts clean.
+	reds := sc.reds[:0]
 	for _, p := range pl.fus {
 		if p.reduce {
 			reds = append(reds, redState{acc: p.init})
 		}
 	}
 
-	sample := func(slot, c int) (float64, bool) {
-		if slot < 0 || c < 0 || c >= pl.T {
-			return 0, false
-		}
-		return sc.val[slot][c], sc.ok[slot][c]
-	}
-
+	T := pl.T
 	tracer := n.Tracer
-	for c := 0; c < pl.T; c++ {
+	for c := 0; c < T; c++ {
 		for _, s := range pl.sources {
 			var v float64
 			ok := true
@@ -263,14 +268,14 @@ func (n *Node) evaluate(pl *ExecPlan, sc *runScratch, detect bool) (*Trap, error
 			default:
 				v, _ = n.Cache[s.plane].Read(s.buf, s.addr+e*s.strd)
 			}
-			sc.val[s.slot][c], sc.ok[s.slot][c] = v, ok
+			sc.val[s.slot*T+c], sc.ok[s.slot*T+c] = v, ok
 			if tracer != nil {
 				tracer(pl.srcID[s.slot], c, v, ok)
 			}
 		}
 		for _, tp := range pl.taps {
-			v, ok := sample(tp.in, c-tp.shift)
-			sc.val[tp.out][c], sc.ok[tp.out][c] = v, ok
+			v, ok := sc.sample(T, tp.in, c-tp.shift)
+			sc.val[tp.out*T+c], sc.ok[tp.out*T+c] = v, ok
 			if tracer != nil {
 				tracer(pl.srcID[tp.out], c, v, ok)
 			}
@@ -282,7 +287,7 @@ func (n *Node) evaluate(pl *ExecPlan, sc *runScratch, detect bool) (*Trap, error
 			var aOK, bOK bool
 			switch p.aKind {
 			case microcode.InSwitch:
-				a, aOK = sample(p.aSlot, c-p.lat-p.aDelay)
+				a, aOK = sc.sample(T, p.aSlot, c-p.lat-p.aDelay)
 			case microcode.InConst:
 				a, aOK = p.aConst, true
 			default:
@@ -296,7 +301,7 @@ func (n *Node) evaluate(pl *ExecPlan, sc *runScratch, detect bool) (*Trap, error
 			} else {
 				switch p.bKind {
 				case microcode.InSwitch:
-					b, bOK = sample(p.bSlot, c-p.lat-p.bDelay)
+					b, bOK = sc.sample(T, p.bSlot, c-p.lat-p.bDelay)
 				case microcode.InConst:
 					b, bOK = p.bConst, true
 				default:
@@ -322,9 +327,9 @@ func (n *Node) evaluate(pl *ExecPlan, sc *runScratch, detect bool) (*Trap, error
 					red.acc = v
 					red.accOK = true
 				}
-				sc.val[p.out][c], sc.ok[p.out][c] = red.acc, red.accOK
+				sc.val[p.out*T+c], sc.ok[p.out*T+c] = red.acc, red.accOK
 			} else {
-				sc.val[p.out][c], sc.ok[p.out][c] = v, valid
+				sc.val[p.out*T+c], sc.ok[p.out*T+c] = v, valid
 			}
 			// Fast gate: only NaN, Inf and subnormal results (exponent
 			// field all-ones or all-zeros with a nonzero mantissa) can be
@@ -369,7 +374,7 @@ func (n *Node) evaluate(pl *ExecPlan, sc *runScratch, detect bool) (*Trap, error
 				}
 			}
 			if tracer != nil {
-				tracer(pl.srcID[p.out], c, sc.val[p.out][c], sc.ok[p.out][c])
+				tracer(pl.srcID[p.out], c, sc.val[p.out*T+c], sc.ok[p.out*T+c])
 			}
 		}
 	}
@@ -383,7 +388,7 @@ func (n *Node) evaluate(pl *ExecPlan, sc *runScratch, detect bool) (*Trap, error
 func (n *Node) fpTrap(pl *ExecPlan, sc *runScratch, p *planFU, kind TrapKind, c int) *Trap {
 	var elem int64
 	for i := 0; i < c; i++ {
-		if sc.ok[p.out][i] {
+		if sc.ok[p.out*pl.T+i] {
 			elem++
 		}
 	}

@@ -1,0 +1,448 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/microcode"
+)
+
+// This file is the specialization layer below the decode-once /
+// execute-many split: a compiled ExecPlan is lowered once more into an
+// execKernel, a topologically ordered list of whole-lane micro-ops
+// executed as branch-free loops over contiguous slot-major scratch.
+//
+// Why whole-lane evaluation is bit-identical to the interpreter's
+// cycle-major sweep: every dependency in a plan points strictly
+// backward in time (functional units have latency ≥ 1, SDU taps delay
+// ≥ 1 cycle) and the producer graph is a DAG (compilePlan's depth
+// fixpoint rejects routing cycles). Evaluating each producer's full
+// lane in topological order therefore performs exactly the same
+// floating-point operations on exactly the same operands in the same
+// per-lane order as the interpreter — reduction accumulators are
+// sequential within a single lane, and non-reduce ops are pure.
+//
+// The kernel carries none of the per-cycle detection machinery (FP
+// trap classification, ECC take-down, tracer callbacks); the run layer
+// dispatches through it only when all of those are provably inert for
+// the whole instruction, which is known before cycle 0 streams.
+
+// kernKind discriminates the whole-lane micro-op classes.
+type kernKind uint8
+
+const (
+	kSrcMem kernKind = iota
+	kSrcCache
+	kTap
+	kFU
+)
+
+// kernOperand is one resolved functional-unit operand: a producer
+// lane read through a fixed backward offset, a broadcast constant, or
+// an unconnected input (zero, valid).
+type kernOperand struct {
+	kind  microcode.InKind
+	slot  int
+	off   int // InSwitch: latency + register-file delay, cycles
+	konst float64
+}
+
+// kernOp is one whole-lane micro-op. Exactly one of the field groups
+// is live, selected by kind.
+type kernOp struct {
+	kind kernKind
+	out  int // producer slot written
+
+	// Sources (kSrcMem/kSrcCache).
+	plane int
+	buf   int
+	addr  int64
+	strd  int64
+	skip  int64
+	count int64
+
+	// Taps (kTap).
+	in    int
+	shift int
+
+	// Functional units (kFU).
+	op     arch.Op
+	arity  int
+	a, b   kernOperand
+	reduce bool
+	init   float64
+}
+
+// execKernel is the lowered form of one ExecPlan: micro-ops in
+// topological producer order. Like the plan it hangs off, it is
+// immutable and carries no node state.
+type execKernel struct {
+	ops []kernOp
+}
+
+// lowerKernel lowers a compiled plan into an execKernel, or returns
+// nil when it declines — an opcode without a run-layer implementation,
+// a malformed DMA descriptor, or (defensively) a producer ordering the
+// topological emitter cannot resolve. A nil kernel simply pins the
+// plan to the interpreter; it is never an error.
+func lowerKernel(pl *ExecPlan) *execKernel {
+	for i := range pl.sources {
+		s := &pl.sources[i]
+		if s.skip < 0 || s.count < 0 {
+			return nil
+		}
+		if s.kind == srcCache && s.buf != 0 && s.buf != 1 {
+			return nil
+		}
+	}
+	for i := range pl.fus {
+		if _, known := apply(pl.fus[i].op, 0, 0); !known {
+			return nil
+		}
+	}
+
+	k := &execKernel{ops: make([]kernOp, 0, len(pl.sources)+len(pl.taps)+len(pl.fus))}
+	done := make([]bool, pl.slots)
+	for i := range pl.sources {
+		s := &pl.sources[i]
+		kind := kSrcMem
+		if s.kind == srcCache {
+			kind = kSrcCache
+		}
+		k.ops = append(k.ops, kernOp{
+			kind: kind, out: s.slot, plane: s.plane, buf: s.buf,
+			addr: s.addr, strd: s.strd, skip: s.skip, count: s.count,
+		})
+		done[s.slot] = true
+	}
+
+	// Emit taps and FUs in topological order: a micro-op is ready once
+	// every lane it reads is complete. The producer graph is a DAG, so
+	// each pass emits at least one op until none remain.
+	emittedTap := make([]bool, len(pl.taps))
+	emittedFU := make([]bool, len(pl.fus))
+	remaining := len(pl.taps) + len(pl.fus)
+	for remaining > 0 {
+		progress := false
+		for i := range pl.taps {
+			tp := &pl.taps[i]
+			if emittedTap[i] || !done[tp.in] {
+				continue
+			}
+			k.ops = append(k.ops, kernOp{kind: kTap, out: tp.out, in: tp.in, shift: tp.shift})
+			done[tp.out] = true
+			emittedTap[i] = true
+			remaining--
+			progress = true
+		}
+		for i := range pl.fus {
+			p := &pl.fus[i]
+			if emittedFU[i] {
+				continue
+			}
+			if p.aKind == microcode.InSwitch && !done[p.aSlot] {
+				continue
+			}
+			if !p.reduce && p.bKind == microcode.InSwitch && !done[p.bSlot] {
+				continue
+			}
+			k.ops = append(k.ops, kernOp{
+				kind: kFU, out: p.out, op: p.op, arity: p.arity,
+				a:      kernOperand{kind: p.aKind, slot: p.aSlot, off: p.lat + p.aDelay, konst: p.aConst},
+				b:      kernOperand{kind: p.bKind, slot: p.bSlot, off: p.lat + p.bDelay, konst: p.bConst},
+				reduce: p.reduce, init: p.init,
+			})
+			done[p.out] = true
+			emittedFU[i] = true
+			remaining--
+			progress = true
+		}
+		if !progress {
+			return nil
+		}
+	}
+	return k
+}
+
+// runKernel executes pl's lowered kernel against the node state. It
+// is the fast path of run(): no traps, no ECC, no tracer — the caller
+// has already proven all three inert for this dispatch.
+func (n *Node) runKernel(pl *ExecPlan, sc *runScratch) {
+	T := pl.T
+	ops := pl.kern.ops
+	for i := range ops {
+		op := &ops[i]
+		switch op.kind {
+		case kSrcMem:
+			n.kernMemSource(op, sc, T)
+		case kSrcCache:
+			n.kernCacheSource(op, sc, T)
+		case kTap:
+			kernTap(op, sc, T)
+		default:
+			kernFU(op, sc, T)
+		}
+	}
+}
+
+// srcRegions splits a source lane into lead-in [0,lead), live
+// [lead,live) and drained [live,T) regions.
+func srcRegions(skip, count int64, T int) (lead, live int) {
+	live = T
+	if end := skip + count; end < int64(T) {
+		live = int(end)
+	}
+	lead = live
+	if skip < int64(lead) {
+		lead = int(skip)
+	}
+	return lead, live
+}
+
+// kernMemSource streams one memory-plane DMA read channel: zeros
+// through the suppressed lead-in, the programmed address walk with a
+// cached page pointer through the live region, invalid zeros after the
+// stream drains.
+func (n *Node) kernMemSource(op *kernOp, sc *runScratch, T int) {
+	val, ok := sc.lane(T, op.out)
+	lead, live := srcRegions(op.skip, op.count, T)
+	for c := 0; c < lead; c++ {
+		val[c] = 0
+		ok[c] = true
+	}
+	mem := n.Mem[op.plane]
+	addr := op.addr + (int64(lead)-op.skip)*op.strd
+	var pg *[pageWords]float64
+	pgIdx := int64(-1)
+	for c := lead; c < live; c++ {
+		var v float64
+		if addr >= 0 && addr < mem.words {
+			if p := addr / pageWords; p != pgIdx {
+				pg, pgIdx = mem.pages[p], p
+			}
+			if pg != nil {
+				v = pg[addr%pageWords]
+			}
+		}
+		val[c] = v
+		ok[c] = true
+		addr += op.strd
+	}
+	for c := live; c < T; c++ {
+		val[c] = 0
+		ok[c] = false
+	}
+}
+
+// kernCacheSource streams one cache DMA read channel from the
+// pipeline-facing buffer selected by the instruction.
+func (n *Node) kernCacheSource(op *kernOp, sc *runScratch, T int) {
+	val, ok := sc.lane(T, op.out)
+	lead, live := srcRegions(op.skip, op.count, T)
+	for c := 0; c < lead; c++ {
+		val[c] = 0
+		ok[c] = true
+	}
+	buf := n.Cache[op.plane].bufs[op.buf]
+	addr := op.addr + (int64(lead)-op.skip)*op.strd
+	for c := lead; c < live; c++ {
+		var v float64
+		if addr >= 0 && addr < int64(len(buf)) {
+			v = buf[addr]
+		}
+		val[c] = v
+		ok[c] = true
+		addr += op.strd
+	}
+	for c := live; c < T; c++ {
+		val[c] = 0
+		ok[c] = false
+	}
+}
+
+// kernTap shifts its input lane by the tap delay: the first shift
+// cycles read before the input stream exists (zero, invalid), the rest
+// is a straight copy.
+func kernTap(op *kernOp, sc *runScratch, T int) {
+	iv, iok := sc.lane(T, op.in)
+	ov, ook := sc.lane(T, op.out)
+	sh := op.shift
+	if sh > T {
+		sh = T
+	}
+	for c := 0; c < sh; c++ {
+		ov[c] = 0
+		ook[c] = false
+	}
+	copy(ov[sh:], iv[:T-sh])
+	copy(ook[sh:], iok[:T-sh])
+}
+
+// stage materializes one operand as a full lane in the scratch staging
+// area: switch operands are the producer lane read through the fixed
+// backward offset, constants broadcast, unconnected inputs read as
+// zero/valid (matching the interpreter's defaults).
+func stage(sc *runScratch, side int, o *kernOperand, T int) ([]float64, []bool) {
+	tv := sc.opv[side][:T:T]
+	tok := sc.opok[side][:T:T]
+	switch o.kind {
+	case microcode.InSwitch:
+		iv, iok := sc.lane(T, o.slot)
+		off := o.off
+		if off > T {
+			off = T
+		}
+		for c := 0; c < off; c++ {
+			tv[c] = 0
+			tok[c] = false
+		}
+		copy(tv[off:], iv[:T-off])
+		copy(tok[off:], iok[:T-off])
+	case microcode.InConst:
+		for c := range tv {
+			tv[c] = o.konst
+			tok[c] = true
+		}
+	default:
+		for c := range tv {
+			tv[c] = 0
+			tok[c] = true
+		}
+	}
+	return tv, tok
+}
+
+// kernFU applies one functional unit to its staged operand lanes. The
+// op dispatch is hoisted out of the cycle loop: hot floating-point ops
+// get dedicated loops, everything else falls back to a per-element
+// apply call (still branch-predictable — one op per kernel op).
+func kernFU(op *kernOp, sc *runScratch, T int) {
+	av, aok := stage(sc, 0, &op.a, T)
+	ov, ook := sc.lane(T, op.out)
+
+	if op.reduce {
+		kernReduce(op, av, aok, ov, ook)
+		return
+	}
+
+	bv, bok := stage(sc, 1, &op.b, T)
+	switch op.op {
+	case arch.OpMov:
+		copy(ov, av)
+	case arch.OpAdd:
+		for c := 0; c < T; c++ {
+			ov[c] = av[c] + bv[c]
+		}
+	case arch.OpSub:
+		for c := 0; c < T; c++ {
+			ov[c] = av[c] - bv[c]
+		}
+	case arch.OpMul:
+		for c := 0; c < T; c++ {
+			ov[c] = av[c] * bv[c]
+		}
+	case arch.OpDiv:
+		for c := 0; c < T; c++ {
+			ov[c] = av[c] / bv[c]
+		}
+	case arch.OpNeg:
+		for c := 0; c < T; c++ {
+			ov[c] = -av[c]
+		}
+	case arch.OpAbs:
+		for c := 0; c < T; c++ {
+			ov[c] = math.Abs(av[c])
+		}
+	case arch.OpMax:
+		for c := 0; c < T; c++ {
+			ov[c] = math.Max(av[c], bv[c])
+		}
+	case arch.OpMin:
+		for c := 0; c < T; c++ {
+			ov[c] = math.Min(av[c], bv[c])
+		}
+	case arch.OpMaxAbs:
+		for c := 0; c < T; c++ {
+			ov[c] = math.Max(math.Abs(av[c]), math.Abs(bv[c]))
+		}
+	default:
+		for c := 0; c < T; c++ {
+			ov[c], _ = apply(op.op, av[c], bv[c])
+		}
+	}
+	if op.arity == 0 {
+		for c := range ook {
+			ook[c] = true
+		}
+	} else {
+		for c := 0; c < T; c++ {
+			ook[c] = aok[c] && bok[c]
+		}
+	}
+}
+
+// kernReduce runs one reduction unit over its full lane. The
+// accumulator is local — sequential within the lane, exactly the
+// interpreter's per-cycle order: the unit applies op(a, acc) every
+// cycle but commits the result only when the operand is valid, and
+// the output lane always shows the committed accumulator.
+func kernReduce(op *kernOp, av []float64, aok []bool, ov []float64, ook []bool) {
+	acc, accOK := op.init, false
+	switch op.op {
+	case arch.OpAdd:
+		for c := range av {
+			if aok[c] {
+				acc = av[c] + acc
+				accOK = true
+			}
+			ov[c] = acc
+			ook[c] = accOK
+		}
+	case arch.OpMul:
+		for c := range av {
+			if aok[c] {
+				acc = av[c] * acc
+				accOK = true
+			}
+			ov[c] = acc
+			ook[c] = accOK
+		}
+	case arch.OpMax:
+		for c := range av {
+			if aok[c] {
+				acc = math.Max(av[c], acc)
+				accOK = true
+			}
+			ov[c] = acc
+			ook[c] = accOK
+		}
+	case arch.OpMin:
+		for c := range av {
+			if aok[c] {
+				acc = math.Min(av[c], acc)
+				accOK = true
+			}
+			ov[c] = acc
+			ook[c] = accOK
+		}
+	case arch.OpMaxAbs:
+		for c := range av {
+			if aok[c] {
+				acc = math.Max(math.Abs(av[c]), math.Abs(acc))
+				accOK = true
+			}
+			ov[c] = acc
+			ook[c] = accOK
+		}
+	default:
+		for c := range av {
+			v, _ := apply(op.op, av[c], acc)
+			if aok[c] {
+				acc = v
+				accOK = true
+			}
+			ov[c] = acc
+			ook[c] = accOK
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/microcode"
+)
+
+// FuzzKernelEquivalence generates random valid pipelines from the fuzz
+// input and demands that the specialized kernel, the interpreter
+// (KernelOff — the pre-kernel execution semantics, which evaluate keeps
+// verbatim), and the detection-armed fallback configurations all leave
+// bit-identical architectural state: plane words, reduction registers,
+// flags, counters, clocks, FLOPs and trap records.
+func FuzzKernelEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{0xff, 0x80, 0x41, 0x00, 0x7f, 0x33, 0x19, 0xc2, 0x05, 0x51})
+	f.Add([]byte{13, 0, 13, 0, 13, 0, 13, 0, 13, 0, 13, 0, 13, 0})
+	f.Add([]byte{200, 100, 50, 25, 12, 6, 3, 1, 0, 255, 254, 253, 252})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &fuzzBytes{d: data}
+
+		type probe struct {
+			name   string
+			mutate func(*Node)
+			// wantSlow: every vector dispatch must take the interpreter.
+			wantSlow bool
+		}
+		probes := []probe{
+			{name: "kernel", mutate: func(n *Node) {}},
+			{name: "interp", mutate: func(n *Node) { n.KernelOff = true }, wantSlow: true},
+			{name: "traced", mutate: func(n *Node) {
+				n.Tracer = func(arch.SourceID, int, float64, bool) {}
+			}, wantSlow: true},
+			{name: "ecc", mutate: func(n *Node) {
+				// A correctable single-bit event: fires once on the first
+				// read of word 1 of plane 0, corrected in flight, so values
+				// cannot change — only the path taken and the ECC counter.
+				if err := n.InjectECC(ECCFault{Plane: 0, Addr: 1}); err != nil {
+					t.Fatal(err)
+				}
+			}},
+		}
+
+		nodes := make([]*Node, len(probes))
+		var execErr error
+		for i, p := range probes {
+			n, err := NewNode(arch.Default())
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.mutate(n)
+			r.rewind()
+			in := fuzzInstr(t, r, n)
+			err = n.Exec(in)
+			if i == 0 {
+				execErr = err
+			} else if (err == nil) != (execErr == nil) {
+				t.Fatalf("%s: exec err %v, kernel node err %v", p.name, err, execErr)
+			}
+			nodes[i] = n
+		}
+
+		base := nodes[0]
+		for i, p := range probes[1:] {
+			n := nodes[i+1]
+			if p.wantSlow {
+				if ks := n.KernelStatsOf(); ks.Fast != 0 {
+					t.Fatalf("%s: must fall back to the interpreter: %+v", p.name, ks)
+				}
+			}
+			// Normalize state the probe legitimately changes before the
+			// bit-compare: the tracer hook and the corrected-ECC counter.
+			n.Tracer = nil
+			n.KernelOff = false
+			n.TrapCounters = base.TrapCounters
+			compareNodes(t, p.name, base, n)
+		}
+	})
+}
+
+// fuzzBytes deals bytes from the fuzz input, rewindable so every node
+// sees the identical decision stream; exhausted input reads as zero.
+type fuzzBytes struct {
+	d []byte
+	i int
+}
+
+func (r *fuzzBytes) rewind() { r.i = 0 }
+
+func (r *fuzzBytes) next() byte {
+	if r.i >= len(r.d) {
+		return 0
+	}
+	b := r.d[r.i]
+	r.i++
+	return b
+}
+
+// val derives a float64 operand, mostly ordinary magnitudes with a
+// sprinkling of the special values the trap layer cares about.
+func (r *fuzzBytes) val() float64 {
+	b := r.next()
+	switch b % 17 {
+	case 0:
+		return 0
+	case 1:
+		return math.NaN()
+	case 2:
+		return math.Inf(1)
+	case 3:
+		return math.Inf(-1)
+	case 4:
+		return 5e-324 // subnormal
+	case 5:
+		return math.MaxFloat64
+	}
+	u := binary.LittleEndian.Uint16([]byte{r.next(), b})
+	return (float64(u) - 32768) / 16
+}
+
+// fuzzInstr builds one random — but always compilable — pipeline from
+// the decision stream: a memory source, optionally shifted through an
+// SDU, into one or two functional units chosen with their capability
+// constraints, optionally reducing, draining to plane 2.
+func fuzzInstr(t *testing.T, r *fuzzBytes, n *Node) *microcode.Instr {
+	t.Helper()
+	cfg := n.Cfg
+
+	count := int64(1 + r.next()%48)
+	stride := int64(1 + r.next()%3)
+	if r.next()%4 == 0 {
+		stride = -stride
+	}
+	base := int64(r.next())
+	if stride < 0 {
+		base += count * -stride
+	}
+	skip := int64(r.next() % 5)
+
+	// Backing data for the source walk (and the ECC probe's word 1).
+	words := make([]float64, 0, 256)
+	for i := 0; i < 256; i++ {
+		words = append(words, r.val())
+	}
+	if err := n.WriteWords(0, 0, words); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.WriteWords(1, 0, words[:128]); err != nil {
+		t.Fatal(err)
+	}
+
+	in := n.F.NewInstr()
+	in.SetMemDMA(0, microcode.MemDMA{Enable: true, Addr: base, Stride: stride, Count: count, Skip: skip})
+
+	// Optional SDU between the source and the first unit.
+	feed := cfg.SrcMemRead(0)
+	if r.next()%2 == 0 {
+		tapA := int(r.next() % 4)
+		tapB := int(r.next() % 4)
+		in.SetSDU(0, true, []int{tapA, tapB})
+		in.Route(cfg.SnkSDUIn(0), cfg.SrcMemRead(0))
+		feed = cfg.SrcSDUTap(0, int(r.next()%2))
+	}
+
+	// First unit: FU 1 is float-only in the default inventory, so draw
+	// from the float op set. Operand B comes from a constant, a second
+	// memory source, or is absent for unary ops.
+	floatOps := []arch.Op{arch.OpMov, arch.OpAdd, arch.OpSub, arch.OpMul, arch.OpDiv,
+		arch.OpNeg, arch.OpAbs, arch.OpFMA, arch.OpRecip}
+	fu := arch.FUID(1)
+	op := floatOps[int(r.next())%len(floatOps)]
+	in.SetFUOp(fu, op)
+	in.SetFUInput(fu, 0, microcode.InSwitch, 0, int(r.next()%3))
+	in.Route(cfg.SnkFUIn(fu, 0), feed)
+	if op.Info().Arity >= 2 {
+		if r.next()%2 == 0 {
+			k := int(r.next() % 4)
+			in.SetConst(k, r.val())
+			in.SetFUInput(fu, 1, microcode.InConst, k, 0)
+		} else {
+			in.SetMemDMA(1, microcode.MemDMA{Enable: true, Addr: int64(r.next() % 64), Stride: 1,
+				Count: count, Skip: int64(r.next() % 3)})
+			in.SetFUInput(fu, 1, microcode.InSwitch, 0, int(r.next()%3))
+			in.Route(cfg.SnkFUIn(fu, 1), cfg.SrcMemRead(1))
+		}
+	}
+	out := cfg.SrcFUOut(fu)
+
+	// Optional reduction on FU 2 (the min/max-capable slot).
+	if r.next()%2 == 0 {
+		redOps := []arch.Op{arch.OpAdd, arch.OpMul, arch.OpMax, arch.OpMin, arch.OpMaxAbs}
+		red := arch.FUID(2)
+		in.SetFUOp(red, redOps[int(r.next())%len(redOps)])
+		in.SetFUInput(red, 0, microcode.InSwitch, 0, int(r.next()%2))
+		in.SetFUInput(red, 1, microcode.InFeedback, 0, 0)
+		k := 4 + int(r.next()%4)
+		in.SetConst(k, r.val())
+		in.SetFUReduce(red, true, k)
+		in.Route(cfg.SnkFUIn(red, 0), out)
+		out = cfg.SrcFUOut(red)
+		if r.next()%2 == 0 {
+			in.SetSeq(microcode.Seq{Cond: microcode.CondHalt, CmpEnable: true, CmpFU: red,
+				CmpOp: uint64(r.next() % 4), CmpConst: k, CmpFlag: int(r.next() % 4)})
+		}
+	}
+
+	// Drain to plane 2. Any Start skew is legal: the sink reads whatever
+	// the producer lane holds at that cycle, in both paths.
+	in.Route(cfg.SnkMemWrite(2), out)
+	in.SetMemDMA(2, microcode.MemDMA{Enable: true, Write: true, Addr: int64(r.next() % 128),
+		Stride: 1, Count: count, Skip: skip, Start: int(r.next() % 16)})
+	if in.SeqOf().Cond != microcode.CondHalt {
+		in.SetSeq(microcode.Seq{Cond: microcode.CondHalt})
+	}
+	return in
+}

@@ -1,0 +1,344 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/microcode"
+)
+
+// The kernel contract is absolute bit-identity with the interpreter:
+// same plane contents, validity-driven sink values, reduction
+// registers, simulated clocks, FLOP counts and trap state, whichever
+// path a dispatch takes. These tests drive both paths over the same
+// instructions and fail on the first diverging bit.
+
+// execEqual runs the same program builder against a kernel-on and a
+// kernel-off node and demands bit-identical end state.
+func execEqual(t *testing.T, name string, build func(n *Node) []*microcode.Instr) {
+	t.Helper()
+	fast, slow := newNode(t), newNode(t)
+	slow.KernelOff = true
+	fIns := build(fast)
+	sIns := build(slow)
+	for i := range fIns {
+		errF := fast.Exec(fIns[i])
+		errS := slow.Exec(sIns[i])
+		if (errF == nil) != (errS == nil) {
+			t.Fatalf("%s: instr %d: fast err %v, slow err %v", name, i, errF, errS)
+		}
+	}
+	if ks := fast.KernelStatsOf(); ks.Fast == 0 {
+		t.Errorf("%s: fast node never took the kernel path: %+v", name, ks)
+	}
+	if ks := slow.KernelStatsOf(); ks.Fast != 0 {
+		t.Errorf("%s: KernelOff node took the kernel path: %+v", name, ks)
+	}
+	compareNodes(t, name, fast, slow)
+}
+
+// compareNodes checks every piece of architectural state the paper's
+// machine exposes: plane words, reduction registers, flags, counters,
+// statistics and the trap log.
+func compareNodes(t *testing.T, name string, a, b *Node) {
+	t.Helper()
+	for p := range a.Mem {
+		for _, pgIdx := range pagesOf(a.Mem[p], b.Mem[p]) {
+			for w := int64(0); w < pageWords; w++ {
+				addr := pgIdx*pageWords + w
+				av, _ := a.Mem[p].Read(addr)
+				bv, _ := b.Mem[p].Read(addr)
+				if math.Float64bits(av) != math.Float64bits(bv) {
+					t.Fatalf("%s: plane %d word %d: %v (%x) vs %v (%x)",
+						name, p, addr, av, math.Float64bits(av), bv, math.Float64bits(bv))
+				}
+			}
+		}
+	}
+	for p := range a.Cache {
+		for half := 0; half < 2; half++ {
+			ab, bb := a.Cache[p].bufs[half], b.Cache[p].bufs[half]
+			for w := range ab {
+				if math.Float64bits(ab[w]) != math.Float64bits(bb[w]) {
+					t.Fatalf("%s: cache %d buf %d word %d: %v vs %v", name, p, half, w, ab[w], bb[w])
+				}
+			}
+		}
+	}
+	for i := range a.RedReg {
+		if math.Float64bits(a.RedReg[i]) != math.Float64bits(b.RedReg[i]) {
+			t.Fatalf("%s: RedReg[%d]: %v vs %v", name, i, a.RedReg[i], b.RedReg[i])
+		}
+	}
+	if a.Flags != b.Flags {
+		t.Errorf("%s: flags %04x vs %04x", name, a.Flags, b.Flags)
+	}
+	if a.Ctr != b.Ctr {
+		t.Errorf("%s: counters %v vs %v", name, a.Ctr, b.Ctr)
+	}
+	if a.Stats.Instructions != b.Stats.Instructions || a.Stats.Cycles != b.Stats.Cycles ||
+		a.Stats.FLOPs != b.Stats.FLOPs || a.Stats.Elements != b.Stats.Elements {
+		t.Errorf("%s: stats %+v vs %+v", name, a.Stats, b.Stats)
+	}
+	for i := range a.Stats.FUBusy {
+		if a.Stats.FUBusy[i] != b.Stats.FUBusy[i] {
+			t.Errorf("%s: FUBusy[%d] %d vs %d", name, i, a.Stats.FUBusy[i], b.Stats.FUBusy[i])
+		}
+	}
+	if len(a.IRQs) != len(b.IRQs) {
+		t.Errorf("%s: %d IRQs vs %d", name, len(a.IRQs), len(b.IRQs))
+	}
+	if a.TrapCounters != b.TrapCounters {
+		t.Errorf("%s: trap counters %+v vs %+v", name, a.TrapCounters, b.TrapCounters)
+	}
+}
+
+// pagesOf returns the union of resident page indices of both planes.
+func pagesOf(a, b *Plane) []int64 {
+	set := map[int64]bool{}
+	for p := range a.pages {
+		set[p] = true
+	}
+	for p := range b.pages {
+		set[p] = true
+	}
+	out := make([]int64, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestKernelEquivalenceTable drives the kernel through hand-built
+// pipelines covering every micro-op class: plain copies, SDU stencils,
+// constants, reductions, cache channels, skewed skips and strides.
+func TestKernelEquivalenceTable(t *testing.T) {
+	data := seq(64, func(i int) float64 { return math.Sin(float64(i)) * 100 })
+
+	t.Run("copy", func(t *testing.T) {
+		execEqual(t, "copy", func(n *Node) []*microcode.Instr {
+			if err := n.WriteWords(0, 0, data); err != nil {
+				t.Fatal(err)
+			}
+			return []*microcode.Instr{buildCopy(n, 0, 1, 64)}
+		})
+	})
+
+	t.Run("stencil-sdu", func(t *testing.T) {
+		// u[i-1] + u[i+1] through an SDU pair: source → SDU → taps with
+		// different delays feeding an adder.
+		execEqual(t, "stencil", func(n *Node) []*microcode.Instr {
+			if err := n.WriteWords(0, 0, data); err != nil {
+				t.Fatal(err)
+			}
+			cfg := n.Cfg
+			in := n.F.NewInstr()
+			in.SetSDU(0, true, []int{0, 2})
+			in.Route(cfg.SnkSDUIn(0), cfg.SrcMemRead(0))
+			in.SetMemDMA(0, microcode.MemDMA{Enable: true, Addr: 0, Stride: 1, Count: 64})
+			fu := arch.FUID(1)
+			in.SetFUOp(fu, arch.OpAdd)
+			in.SetFUInput(fu, 0, microcode.InSwitch, 0, 0)
+			in.SetFUInput(fu, 1, microcode.InSwitch, 0, 2)
+			in.Route(cfg.SnkFUIn(fu, 0), cfg.SrcSDUTap(0, 1))
+			in.Route(cfg.SnkFUIn(fu, 1), cfg.SrcSDUTap(0, 0))
+			in.Route(cfg.SnkMemWrite(2), cfg.SrcFUOut(fu))
+			in.SetMemDMA(2, microcode.MemDMA{Enable: true, Write: true, Addr: 0, Stride: 1, Count: 64,
+				Start: 3 + arch.OpAdd.Info().Latency})
+			in.SetSeq(microcode.Seq{Cond: microcode.CondHalt})
+			return []*microcode.Instr{in}
+		})
+	})
+
+	t.Run("const-scale-reduce", func(t *testing.T) {
+		// v = a*0.25 streamed into a maxabs reduction with a sequencer
+		// comparison, exercising constants, chained FUs, RedReg and flags.
+		execEqual(t, "reduce", func(n *Node) []*microcode.Instr {
+			if err := n.WriteWords(0, 0, data); err != nil {
+				t.Fatal(err)
+			}
+			cfg := n.Cfg
+			in := n.F.NewInstr()
+			mul := arch.FUID(0)
+			in.SetFUOp(mul, arch.OpMul)
+			in.SetFUInput(mul, 0, microcode.InSwitch, 0, 0)
+			in.SetFUInput(mul, 1, microcode.InConst, 1, 0)
+			in.SetConst(1, 0.25)
+			in.Route(cfg.SnkFUIn(mul, 0), cfg.SrcMemRead(0))
+			in.SetMemDMA(0, microcode.MemDMA{Enable: true, Addr: 0, Stride: 1, Count: 64})
+			red := arch.FUID(2)
+			in.SetFUOp(red, arch.OpMaxAbs)
+			in.SetFUInput(red, 0, microcode.InSwitch, 0, 0)
+			in.SetFUInput(red, 1, microcode.InFeedback, 0, 0)
+			in.SetFUReduce(red, true, 0)
+			in.SetConst(0, 0.0)
+			in.Route(cfg.SnkFUIn(red, 0), cfg.SrcFUOut(mul))
+			in.SetSeq(microcode.Seq{Cond: microcode.CondHalt, CmpEnable: true, CmpFU: red,
+				CmpOp: microcode.CmpLT, CmpConst: 1, CmpFlag: 0})
+			return []*microcode.Instr{in}
+		})
+	})
+
+	t.Run("cache-skew", func(t *testing.T) {
+		// Cache-resident source with skip/stride skew, written back to
+		// the other buffer with a swap.
+		execEqual(t, "cache", func(n *Node) []*microcode.Instr {
+			for i := 0; i < 32; i++ {
+				if err := n.Cache[0].Write(0, int64(i), data[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cfg := n.Cfg
+			in := n.F.NewInstr()
+			fu := arch.FUID(3)
+			in.SetFUOp(fu, arch.OpNeg)
+			in.SetFUInput(fu, 0, microcode.InSwitch, 0, 1)
+			in.Route(cfg.SnkFUIn(fu, 0), cfg.SrcCacheRead(0))
+			in.SetCacheDMA(0, microcode.CacheDMA{Enable: true, Buf: 0, Addr: 2, Stride: 2, Count: 12, Skip: 3})
+			in.Route(cfg.SnkCacheWrite(1), cfg.SrcFUOut(fu))
+			in.SetCacheDMA(1, microcode.CacheDMA{Enable: true, Write: true, Buf: 1, Addr: 0, Stride: 1,
+				Count: 12, Skip: 3, Start: arch.OpNeg.Info().Latency + 1, Swap: true})
+			in.SetSeq(microcode.Seq{Cond: microcode.CondHalt})
+			return []*microcode.Instr{in}
+		})
+	})
+
+	t.Run("nonfinite-stream", func(t *testing.T) {
+		// NaN and Inf flow through untrapped when no policy is armed;
+		// the kernel must propagate the exact same bit patterns.
+		execEqual(t, "nonfinite", func(n *Node) []*microcode.Instr {
+			poison := append([]float64(nil), data[:16]...)
+			poison[3] = math.NaN()
+			poison[7] = math.Inf(1)
+			poison[11] = math.Inf(-1)
+			poison[13] = 5e-324 // subnormal
+			if err := n.WriteWords(0, 0, poison); err != nil {
+				t.Fatal(err)
+			}
+			cfg := n.Cfg
+			in := n.F.NewInstr()
+			fu := arch.FUID(1)
+			in.SetFUOp(fu, arch.OpDiv)
+			in.SetFUInput(fu, 0, microcode.InConst, 0, 0)
+			in.SetConst(0, 1.0)
+			in.SetFUInput(fu, 1, microcode.InSwitch, 0, 0)
+			in.Route(cfg.SnkFUIn(fu, 1), cfg.SrcMemRead(0))
+			in.SetMemDMA(0, microcode.MemDMA{Enable: true, Addr: 0, Stride: 1, Count: 16})
+			in.Route(cfg.SnkMemWrite(1), cfg.SrcFUOut(fu))
+			in.SetMemDMA(1, microcode.MemDMA{Enable: true, Write: true, Addr: 0, Stride: 1, Count: 16,
+				Start: arch.OpDiv.Info().Latency})
+			in.SetSeq(microcode.Seq{Cond: microcode.CondHalt})
+			return []*microcode.Instr{in}
+		})
+	})
+}
+
+// TestKernelEligibility pins down the fast-path predicate: any
+// condition that needs per-cycle observation must force the
+// interpreter, and the escape hatch must always win.
+func TestKernelEligibility(t *testing.T) {
+	data := seq(16, func(i int) float64 { return float64(i) })
+	build := func(t *testing.T, mutate func(*Node)) KernelStats {
+		n := newNode(t)
+		if err := n.WriteWords(0, 0, data); err != nil {
+			t.Fatal(err)
+		}
+		mutate(n)
+		if err := n.Exec(buildCopy(n, 0, 1, 16)); err != nil {
+			t.Fatal(err)
+		}
+		return n.KernelStatsOf()
+	}
+
+	if ks := build(t, func(n *Node) {}); ks.Fast != 1 || ks.Slow != 0 {
+		t.Errorf("default dispatch should take the kernel: %+v", ks)
+	}
+	if ks := build(t, func(n *Node) { n.KernelOff = true }); ks.Fast != 0 || ks.Slow != 1 {
+		t.Errorf("KernelOff must force the interpreter: %+v", ks)
+	}
+	if ks := build(t, func(n *Node) {
+		n.Tracer = func(arch.SourceID, int, float64, bool) {}
+	}); ks.Fast != 0 || ks.Slow != 1 {
+		t.Errorf("a tracer must force the interpreter: %+v", ks)
+	}
+	if ks := build(t, func(n *Node) {
+		n.TrapCfg = arch.TrapConfig{Policy: arch.TrapHalt}
+	}); ks.Fast != 0 || ks.Slow != 1 {
+		t.Errorf("an armed trap policy must force the interpreter: %+v", ks)
+	}
+	if ks := build(t, func(n *Node) {
+		n.InjectECC(ECCFault{Plane: 0, Addr: 3})
+	}); ks.Fast != 0 || ks.Slow != 1 {
+		t.Errorf("armed ECC events must force the interpreter: %+v", ks)
+	}
+
+	// Consuming every armed ECC event re-enables the kernel: the map
+	// may stay non-nil, but an empty event set needs no per-cycle check.
+	n := newNode(t)
+	if err := n.WriteWords(0, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	n.InjectECC(ECCFault{Plane: 0, Addr: 3})
+	if err := n.Exec(buildCopy(n, 0, 1, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Exec(buildCopy(n, 0, 1, 16)); err != nil {
+		t.Fatal(err)
+	}
+	ks := n.KernelStatsOf()
+	if ks.Slow != 1 || ks.Fast != 1 {
+		t.Errorf("after the armed event fires the kernel should re-engage: %+v", ks)
+	}
+	if n.TrapCounters.ECCCorrected != 1 {
+		t.Errorf("ECC event should have fired once: %+v", n.TrapCounters)
+	}
+}
+
+// TestKernelFallbackMatchesInterpreter arms detection machinery on one
+// node (forcing the interpreter) and compares it against an untouched
+// node where the configuration provably cannot change results: a no-op
+// tracer, and a single-bit ECC event that is corrected in flight.
+func TestKernelFallbackMatchesInterpreter(t *testing.T) {
+	data := seq(48, func(i int) float64 { return float64(i)*1.5 - 20 })
+	run := func(t *testing.T, mutate func(*Node)) *Node {
+		n := newNode(t)
+		if err := n.WriteWords(0, 0, data); err != nil {
+			t.Fatal(err)
+		}
+		mutate(n)
+		for i := 0; i < 3; i++ {
+			if err := n.Exec(buildCopy(n, 0, 1, 48)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return n
+	}
+
+	base := run(t, func(n *Node) {})
+	if ks := base.KernelStatsOf(); ks.Fast != 3 {
+		t.Fatalf("base node should be all-kernel: %+v", ks)
+	}
+
+	traced := run(t, func(n *Node) {
+		n.Tracer = func(arch.SourceID, int, float64, bool) {}
+	})
+	if ks := traced.KernelStatsOf(); ks.Fast != 0 || ks.Slow != 3 {
+		t.Fatalf("traced node should be all-interpreter: %+v", ks)
+	}
+	traced.Tracer = nil
+	traced.TrapCounters = base.TrapCounters
+	compareNodes(t, "tracer-fallback", base, traced)
+
+	ecc := run(t, func(n *Node) {
+		n.InjectECC(ECCFault{Plane: 0, Addr: 5}) // single-bit: corrected, value unchanged
+	})
+	if ks := ecc.KernelStatsOf(); ks.Fast != 2 || ks.Slow != 1 {
+		t.Fatalf("ECC node should interpret once then re-engage: %+v", ks)
+	}
+	if ecc.TrapCounters.ECCCorrected != 1 {
+		t.Fatalf("corrected-ECC count: %+v", ecc.TrapCounters)
+	}
+	ecc.TrapCounters = base.TrapCounters
+	compareNodes(t, "ecc-fallback", base, ecc)
+}

@@ -176,6 +176,17 @@ type Node struct {
 	plans                map[string]*ExecPlan
 	scratch              map[*ExecPlan]*runScratch
 	planHits, planMisses int64
+	// keyBuf is the reusable plan-cache key serialization buffer; the
+	// hit path probes the cache without materializing a key string.
+	keyBuf []byte
+
+	// KernelOff forces every dispatch through the reference
+	// interpreter even when the plan carries a specialized kernel —
+	// the escape hatch behind nscsim -no-kernel and the slow side of
+	// the kernel equivalence tests. kernelFast/kernelSlow count which
+	// path each vector dispatch took.
+	KernelOff              bool
+	kernelFast, kernelSlow int64
 
 	// TrapCfg selects the node's exception-handling policy (zero value:
 	// seed behaviour, detection off). TrapCounters accumulates every

@@ -123,18 +123,22 @@ type ExecPlan struct {
 	// pool at decode time.
 	cmpTh     float64
 	trapArmed bool
+
+	// nReds counts reduction units, sizing the pooled accumulator
+	// state in runScratch.
+	nReds int
+
+	// kern is the specialized branch-free kernel lowered from this
+	// plan, or nil when lowering declined (see lowerKernel). The run
+	// layer dispatches through it only when per-cycle detection
+	// (traps, ECC, tracer) is provably unnecessary.
+	kern *execKernel
 }
 
-// planKey returns the cache key for an instruction: its exact bit
-// pattern. Content addressing makes the cache self-invalidating — any
-// field mutation produces a different key and therefore a fresh decode.
-func planKey(w microcode.Word) string {
-	b := make([]byte, 8*len(w))
-	for i, lane := range w {
-		binary.LittleEndian.PutUint64(b[8*i:], lane)
-	}
-	return string(b)
-}
+// The plan-cache key is the instruction's exact bit pattern,
+// serialized little-endian (see Node.plan). Content addressing makes
+// the cache self-invalidating — any field mutation produces a
+// different key and therefore a fresh decode.
 
 // PlanCacheStats reports a node's compiled-plan cache behaviour.
 type PlanCacheStats struct {
@@ -414,6 +418,7 @@ func compilePlan(cfg arch.Config, inv *arch.Inventory, in *microcode.Instr) (*Ex
 			p.reduce = true
 			p.init = in.Const(init)
 			pl.reduces = append(pl.reduces, planReduce{fu: i, from: p.out})
+			pl.nReds++
 		}
 		if p.arity >= 1 && p.aKind == microcode.InNone {
 			return nil, fmt.Errorf("sim: fu%d (%s) operand A unconnected", i, p.op)
@@ -446,15 +451,26 @@ func compilePlan(cfg arch.Config, inv *arch.Inventory, in *microcode.Instr) (*Ex
 		}
 		s.from = from
 	}
+	pl.kern = lowerKernel(pl)
 	return pl, nil
 }
 
 // plan returns the compiled plan for in, decoding it at most once per
 // distinct instruction content. The cache is per-node, so concurrent
-// nodes never share mutable state.
+// nodes never share mutable state. The lookup key is serialized into a
+// pooled buffer and probed with an in-place string conversion, so the
+// hit path — every dispatch of an iterative solver after the first —
+// performs no allocation; the key string is only materialized when a
+// miss inserts a new plan.
 func (n *Node) plan(in *microcode.Instr) (*ExecPlan, error) {
-	key := planKey(in.W)
-	if pl, ok := n.plans[key]; ok {
+	if need := 8 * len(in.W); cap(n.keyBuf) < need {
+		n.keyBuf = make([]byte, need)
+	}
+	key := n.keyBuf[:8*len(in.W)]
+	for i, lane := range in.W {
+		binary.LittleEndian.PutUint64(key[8*i:], lane)
+	}
+	if pl, ok := n.plans[string(key)]; ok {
 		n.planHits++
 		return pl, nil
 	}
@@ -466,7 +482,7 @@ func (n *Node) plan(in *microcode.Instr) (*ExecPlan, error) {
 	if n.plans == nil {
 		n.plans = make(map[string]*ExecPlan)
 	}
-	n.plans[key] = pl
+	n.plans[string(key)] = pl
 	return pl, nil
 }
 
@@ -476,20 +492,70 @@ func (n *Node) PlanCacheStats() PlanCacheStats {
 	return PlanCacheStats{Hits: n.planHits, Misses: n.planMisses, Entries: len(n.plans)}
 }
 
-// ResetPlanCache drops every compiled plan and zeroes the counters.
+// ResetPlanCache drops every compiled plan and zeroes the counters,
+// including the kernel path counters.
 func (n *Node) ResetPlanCache() {
 	n.plans = nil
 	n.scratch = nil
 	n.planHits, n.planMisses = 0, 0
+	n.kernelFast, n.kernelSlow = 0, 0
+}
+
+// KernelStats reports how many vector dispatches ran through the
+// specialized kernel (fast) versus the reference interpreter (slow).
+// Control instructions take neither path and are not counted.
+type KernelStats struct {
+	Fast int64
+	Slow int64
+}
+
+// KernelStatsOf returns the node's kernel path counters.
+func (n *Node) KernelStatsOf() KernelStats {
+	return KernelStats{Fast: n.kernelFast, Slow: n.kernelSlow}
+}
+
+// redState is one reduction accumulator. The accumulators are
+// per-execution state, not plan state; they live in runScratch so the
+// run layer never allocates them per dispatch.
+type redState struct {
+	acc   float64
+	accOK bool
 }
 
 // runScratch is the reusable per-plan working set: one value/valid
-// lane per producer slot, T cycles long. It belongs to the run layer's
-// mutable state (it lives on the node, never on the plan), so two
-// nodes executing the same plan concurrently never share it.
+// lane per producer slot, T cycles long, stored slot-major in a single
+// contiguous array (lane s occupies val[s*T : (s+1)*T]). It belongs to
+// the run layer's mutable state (it lives on the node, never on the
+// plan), so two nodes executing the same plan concurrently never
+// share it.
 type runScratch struct {
-	val [][]float64
-	ok  [][]bool
+	val []float64 // slot-major: val[slot*T+c]
+	ok  []bool    // slot-major: ok[slot*T+c]
+
+	// reds holds the pooled reduction accumulators, reset at the top
+	// of every execution.
+	reds []redState
+
+	// opv/opok are the kernel's operand staging lanes (T cycles each):
+	// each functional-unit micro-op shifts or broadcasts its operands
+	// into these before the branch-free apply loop runs.
+	opv  [2][]float64
+	opok [2][]bool
+}
+
+// lane returns producer slot s's value and validity lanes.
+func (sc *runScratch) lane(T, s int) ([]float64, []bool) {
+	return sc.val[s*T : (s+1)*T : (s+1)*T], sc.ok[s*T : (s+1)*T : (s+1)*T]
+}
+
+// sample reads producer slot `slot` at cycle c; cycles outside [0,T)
+// (pipeline lead-in seen through a delay, or an unconnected operand)
+// read as zero/invalid.
+func (sc *runScratch) sample(T, slot, c int) (float64, bool) {
+	if slot < 0 || c < 0 || c >= T {
+		return 0, false
+	}
+	return sc.val[slot*T+c], sc.ok[slot*T+c]
 }
 
 // scratchFor returns (allocating once per plan) the node's working set
@@ -499,10 +565,14 @@ func (n *Node) scratchFor(pl *ExecPlan) *runScratch {
 	if sc, ok := n.scratch[pl]; ok {
 		return sc
 	}
-	sc := &runScratch{val: make([][]float64, pl.slots), ok: make([][]bool, pl.slots)}
-	for i := 0; i < pl.slots; i++ {
-		sc.val[i] = make([]float64, pl.T)
-		sc.ok[i] = make([]bool, pl.T)
+	sc := &runScratch{
+		val:  make([]float64, pl.slots*pl.T),
+		ok:   make([]bool, pl.slots*pl.T),
+		reds: make([]redState, pl.nReds),
+	}
+	for i := range sc.opv {
+		sc.opv[i] = make([]float64, pl.T)
+		sc.opok[i] = make([]bool, pl.T)
 	}
 	if n.scratch == nil {
 		n.scratch = make(map[*ExecPlan]*runScratch)
